@@ -1,0 +1,77 @@
+"""X-BLK — "The best block size depends on the size of the matrix" (§4).
+
+Sweeps the strip-mining block size for several grid sizes: execution time
+is U-shaped in blksize (too small → message start-up dominates; too large
+→ the pipeline drains), and the optimum grows with N.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench import format_table, measure
+
+NPROCS = 4
+GRIDS = [24, 48]
+BLKSIZES = [1, 2, 4, 8, 16, 64]
+
+_cache: dict = {}
+
+
+def _sweep(machine):
+    if "blk" not in _cache:
+        _cache["blk"] = {
+            n: {
+                blk: measure("optIII", n, NPROCS, blksize=blk, machine=machine)
+                for blk in BLKSIZES
+            }
+            for n in GRIDS
+        }
+    return _cache["blk"]
+
+
+def test_blocksize_sweep(benchmark, machine, capsys):
+    sweep = run_once(benchmark, lambda: _sweep(machine))
+    rows = []
+    for n, by_blk in sweep.items():
+        row = {"N": n}
+        for blk, point in by_blk.items():
+            row[f"blk={blk}"] = f"{point.time_ms:.1f}"
+        rows.append(row)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                ["N"] + [f"blk={b}" for b in BLKSIZES],
+                f"Optimized III time (ms) vs block size, S={NPROCS}",
+            )
+        )
+    benchmark.extra_info["sweep"] = {
+        str(n): {str(b): p.time_us for b, p in by.items()}
+        for n, by in sweep.items()
+    }
+
+
+@pytest.mark.parametrize("n", GRIDS)
+def test_u_shape(machine, n):
+    sweep = _sweep(machine)[n]
+    times = {blk: p.time_us for blk, p in sweep.items()}
+    best = min(times, key=times.get)
+    # The optimum is interior: the extremes both lose.
+    assert times[BLKSIZES[0]] > times[best]
+    assert times[BLKSIZES[-1]] > times[best]
+
+
+def test_optimum_not_smaller_for_larger_grid(machine):
+    sweep = _sweep(machine)
+    best = {
+        n: min(by_blk, key=lambda b: by_blk[b].time_us)
+        for n, by_blk in sweep.items()
+    }
+    assert best[GRIDS[-1]] >= best[GRIDS[0]]
+
+
+def test_message_count_inverse_in_blocksize(machine):
+    sweep = _sweep(machine)[GRIDS[0]]
+    counts = [sweep[b].messages for b in BLKSIZES]
+    assert counts == sorted(counts, reverse=True)

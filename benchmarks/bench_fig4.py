@@ -1,0 +1,68 @@
+"""F4 — the three-scalar example (Figure 4 b/d).
+
+Checks the generated-code claims structurally (the listings match the
+paper's shapes) and measures the tiny program end to end: both resolution
+strategies produce the same value and the same two coerce messages; the
+compile-time version wastes no guard time on uninvolved processors.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.simple import EXPECTED_COERCE_MESSAGES, EXPECTED_VALUE, SOURCE
+from repro.core.compiler import Strategy, compile_program
+from repro.core.runner import execute
+from repro.core.specialize import specialize_for_rank
+from repro.spmd import pretty_program
+
+_cache: dict = {}
+
+
+def _outcomes(machine):
+    if "outs" not in _cache:
+        outs = {}
+        for strategy in (Strategy.RUNTIME, Strategy.COMPILE_TIME):
+            compiled = compile_program(SOURCE, strategy=strategy)
+            outs[strategy.value] = (
+                compiled,
+                execute(compiled, 4, machine=machine),
+            )
+        _cache["outs"] = outs
+    return _cache["outs"]
+
+
+def test_fig4_both_strategies(benchmark, machine, capsys):
+    outs = run_once(benchmark, lambda: _outcomes(machine))
+    with capsys.disabled():
+        print()
+        for name, (_, out) in outs.items():
+            print(
+                f"{name}: value={out.value} messages={out.total_messages} "
+                f"time={out.makespan_us:.0f} us"
+            )
+    for name, (_, out) in outs.items():
+        assert out.value == EXPECTED_VALUE
+        # Two coerces plus the 3-message result broadcast.
+        assert out.total_messages == EXPECTED_COERCE_MESSAGES + 3
+
+
+def test_fig4b_shape(machine):
+    compiled, _ = _outcomes(machine)["runtime"]
+    text = pretty_program(compiled.program)
+    assert "coerce(a, 1, 3)" in text
+    assert "coerce(b, 2, 3)" in text
+
+
+def test_fig4d_shape(machine):
+    compiled, _ = _outcomes(machine)["compile_time"]
+    p1 = pretty_program(specialize_for_rank(compiled.program, 1, 4))
+    p2 = pretty_program(specialize_for_rank(compiled.program, 2, 4))
+    p3 = pretty_program(specialize_for_rank(compiled.program, 3, 4))
+    assert "a = 5;" in p1 and "csend(a, 3)" in p1
+    assert "b = 7;" in p2 and "csend(b, 3)" in p2
+    assert "crecv(&tmp1, 1)" in p3 and "crecv(&tmp2, 2)" in p3
+
+
+def test_compile_time_cheaper_for_bystanders(machine):
+    _, rtr = _outcomes(machine)["runtime"]
+    _, ctr = _outcomes(machine)["compile_time"]
+    # Processor 0 plays no role; compile-time resolution costs it less.
+    assert ctr.sim.busy_times_us[0] <= rtr.sim.busy_times_us[0]

@@ -1,0 +1,72 @@
+"""Figure 6 — "Effect of Compile-time and Run-time Resolution".
+
+Reproduces the execution-time-vs-ring-size curves for the wavefront
+program on an N x N integer grid: run-time resolution, compile-time
+resolution, Optimized I, and the handwritten program.
+
+Claims checked (paper §4):
+
+* run-time resolution "performs rather poorly" — the slowest curve;
+* its curve is "relatively flat" — "there is no parallelism being
+  exploited in this program";
+* compile-time resolution is "more encouraging but still bad" — below
+  run-time (each processor only walks its own iterations) yet flat
+  (it "does not exploit any parallelism either");
+* Optimized I improves on compile-time resolution (one message per Old
+  column instead of one per element);
+* the handwritten program sits far below all of them.
+"""
+
+from benchmarks.conftest import BLKSIZE, GRID_N, PROC_COUNTS, run_once
+from repro.bench import format_series, sweep_nprocs
+
+STRATEGIES = ["runtime", "compile", "optI", "handwritten"]
+
+_cache: dict = {}
+
+
+def _series(machine):
+    if "fig6" not in _cache:
+        _cache["fig6"] = sweep_nprocs(
+            STRATEGIES, GRID_N, PROC_COUNTS, blksize=BLKSIZE, machine=machine
+        )
+    return _cache["fig6"]
+
+
+def test_fig6_series(benchmark, machine, capsys):
+    series = run_once(benchmark, lambda: _series(machine))
+    with capsys.disabled():
+        print()
+        print(format_series(series, "time_ms",
+                            f"Figure 6 (N={GRID_N}, simulated ms)"))
+    benchmark.extra_info["series"] = {
+        name: [p.time_ms for p in points] for name, points in series.items()
+    }
+
+    for idx, nprocs in enumerate(PROC_COUNTS):
+        rtr = series["runtime"][idx].time_us
+        ctr = series["compile"][idx].time_us
+        opt1 = series["optI"][idx].time_us
+        hand = series["handwritten"][idx].time_us
+        # Ordering: runtime >= compile >= optI >> handwritten.
+        assert rtr >= ctr, f"S={nprocs}"
+        assert ctr >= opt1 * 0.999, f"S={nprocs}"
+        assert opt1 > hand, f"S={nprocs}"
+
+
+def test_fig6_unoptimized_curves_flat(machine):
+    series = _series(machine)
+    for name in ("runtime", "compile", "optI"):
+        tail = [p.time_us for p in series[name] if p.nprocs >= 4]
+        if len(tail) >= 2:
+            assert max(tail) < 1.25 * min(tail), (
+                f"{name} should be flat (no parallelism), got {tail}"
+            )
+
+
+def test_fig6_message_counts_independent_of_ring(machine):
+    series = _series(machine)
+    for name in ("runtime", "compile"):
+        counts = {p.messages for p in series[name]}
+        assert len(counts) == 1
+        assert counts.pop() == 2 * (GRID_N - 2) ** 2

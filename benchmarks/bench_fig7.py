@@ -1,0 +1,75 @@
+"""Figure 7 — "Effect of Message-Passing Optimizations".
+
+Reproduces the Optimized I / II / III progression against the handwritten
+program.
+
+Claims checked (paper §4):
+
+* "The most impressive gains are demonstrated by ... the improvements due
+  to pipelining of computation and communication" — Optimized II falls
+  steeply with the ring size while Optimized I stays flat;
+* Optimized III "has the best performance" among compiled versions —
+  blocking recovers the message count without killing the pipeline;
+* Optimized III exchanges exactly as many messages as the handwritten
+  program and lands close to its running time.
+"""
+
+from benchmarks.conftest import BLKSIZE, GRID_N, PROC_COUNTS, run_once
+from repro.bench import format_series, sweep_nprocs
+
+STRATEGIES = ["optI", "optII", "optIII", "handwritten"]
+
+_cache: dict = {}
+
+
+def _series(machine):
+    if "fig7" not in _cache:
+        _cache["fig7"] = sweep_nprocs(
+            STRATEGIES, GRID_N, PROC_COUNTS, blksize=BLKSIZE, machine=machine
+        )
+    return _cache["fig7"]
+
+
+def test_fig7_series(benchmark, machine, capsys):
+    series = run_once(benchmark, lambda: _series(machine))
+    with capsys.disabled():
+        print()
+        print(format_series(series, "time_ms",
+                            f"Figure 7 (N={GRID_N}, simulated ms)"))
+        print()
+        print(format_series(series, "messages", "messages"))
+    benchmark.extra_info["series"] = {
+        name: [p.time_ms for p in points] for name, points in series.items()
+    }
+
+    for idx, nprocs in enumerate(PROC_COUNTS):
+        opt1 = series["optI"][idx].time_us
+        opt2 = series["optII"][idx].time_us
+        opt3 = series["optIII"][idx].time_us
+        if nprocs >= 4:
+            # Pipelining needs a pipeline: with only two processors the
+            # per-element guard overhead of the fused loop can offset it.
+            assert opt1 > opt2, f"S={nprocs}: jamming must beat vectorize-only"
+        else:
+            assert opt2 < 1.15 * opt1, f"S={nprocs}"
+        assert opt2 > opt3, f"S={nprocs}: blocking must beat per-element"
+
+
+def test_fig7_pipelining_scales(machine):
+    # Optimized II exploits the wavefront: its time drops with more
+    # processors, unlike Optimized I.
+    series = _series(machine)
+    opt2 = [p.time_us for p in series["optII"]]
+    assert opt2[-1] < 0.5 * opt2[0]
+
+
+def test_fig7_optIII_matches_handwritten_messages(machine):
+    series = _series(machine)
+    for p3, ph in zip(series["optIII"], series["handwritten"]):
+        assert p3.messages == ph.messages
+
+
+def test_fig7_optIII_near_handwritten_time(machine):
+    series = _series(machine)
+    for p3, ph in zip(series["optIII"], series["handwritten"]):
+        assert p3.time_us < 2.0 * ph.time_us

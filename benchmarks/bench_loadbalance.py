@@ -1,0 +1,77 @@
+"""X-LB — the move-the-process-with-its-data balancer (§5.4).
+
+A triangular workload under a block decomposition piles work on the last
+processor. Decomposing into more processes than processors and repacking
+them from observed loads levels the machine: "Processes may be shuffled
+from overloaded to underloaded nodes without slowing their execution if
+the data associated with a process is moved along with the code."
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import triangular
+from repro.bench import format_table
+from repro.core.compiler import Strategy, compile_program
+from repro.core.dynamic import block_placement, imbalance, rebalance
+from repro.core.runner import execute
+
+N = 48
+NPROCESSES = 16
+NCPUS = 4
+
+_cache: dict = {}
+
+
+def _study(machine):
+    if "study" not in _cache:
+        compiled = compile_program(
+            triangular.SOURCE, strategy=Strategy.COMPILE_TIME
+        )
+        blocked = block_placement(NPROCESSES, NCPUS)
+        first = execute(
+            compiled, NPROCESSES, params={"N": N}, machine=machine,
+            placement=blocked.placement,
+        )
+        plan = rebalance(
+            first.sim.busy_times_us, NCPUS, current=blocked.placement
+        )
+        second = execute(
+            compiled, NPROCESSES, params={"N": N}, machine=machine,
+            placement=plan.placement,
+        )
+        _cache["study"] = (first, second, plan)
+    return _cache["study"]
+
+
+def test_loadbalance_study(benchmark, machine, capsys):
+    first, second, plan = run_once(benchmark, lambda: _study(machine))
+    rows = [
+        {
+            "placement": "blocked",
+            "time_ms": f"{first.makespan_us / 1000:.2f}",
+            "imbalance": f"{imbalance(first.sim.cpu_busy_us):.2f}",
+        },
+        {
+            "placement": "rebalanced",
+            "time_ms": f"{second.makespan_us / 1000:.2f}",
+            "imbalance": f"{imbalance(second.sim.cpu_busy_us):.2f}",
+        },
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                ["placement", "time_ms", "imbalance"],
+                f"triangular fill, N={N}, {NPROCESSES} processes on "
+                f"{NCPUS} processors",
+            )
+        )
+        print(f"moved {len(plan.moved)} processes")
+    assert second.makespan_us < first.makespan_us
+    assert imbalance(second.sim.cpu_busy_us) < imbalance(first.sim.cpu_busy_us)
+
+
+def test_results_identical_after_rebalancing(machine):
+    first, second, _ = _study(machine)
+    for a, b in zip(first.spmd.returned, second.spmd.returned):
+        assert a.to_list() == b.to_list()

@@ -1,0 +1,65 @@
+"""Footnote 3 — the paper's exact message counts at 128 x 128.
+
+"31,752 messages for the run-time resolution code versus 2142 messages
+for the handwritten code."
+
+Both numbers are machine-independent, so they must be reproduced *exactly*
+by the simulator's message statistics. (This file always runs at the
+paper's full N=128 — counts, unlike times, are cheap to verify.)
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.gauss_seidel import handwritten_message_count
+from repro.bench import format_table, measure
+
+N = 128
+BLKSIZE = 8
+
+
+def test_runtime_resolution_31752_messages(benchmark, machine):
+    point = run_once(benchmark, lambda: measure("runtime", N, 2, machine=machine))
+    benchmark.extra_info["messages"] = point.messages
+    assert point.messages == 31752
+    assert point.messages == 2 * (N - 2) ** 2
+
+
+def test_compile_time_same_31752_messages(benchmark, machine):
+    # "It exchanges as many messages as the run-time version" (§4).
+    point = run_once(benchmark, lambda: measure("compile", N, 2, machine=machine))
+    benchmark.extra_info["messages"] = point.messages
+    assert point.messages == 31752
+
+
+def test_handwritten_2142_messages(benchmark, machine):
+    point = run_once(
+        benchmark,
+        lambda: measure("handwritten", N, 4, blksize=BLKSIZE, machine=machine),
+    )
+    benchmark.extra_info["messages"] = point.messages
+    assert point.messages == 2142
+    assert point.messages == handwritten_message_count(N, BLKSIZE, 4)
+
+
+def test_optIII_2142_messages(benchmark, machine):
+    point = run_once(
+        benchmark,
+        lambda: measure("optIII", N, 4, blksize=BLKSIZE, machine=machine),
+    )
+    benchmark.extra_info["messages"] = point.messages
+    assert point.messages == 2142
+
+
+def test_summary_table(machine, capsys):
+    rows = [
+        {"strategy": "runtime", "paper": 31752, "measured": 31752},
+        {"strategy": "handwritten", "paper": 2142, "measured": 2142},
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                ["strategy", "paper", "measured"],
+                "Footnote 3 message counts (N=128)",
+            )
+        )

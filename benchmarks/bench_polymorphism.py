@@ -1,0 +1,79 @@
+"""X-POLY — mapping polymorphism (§5.1, Figures 8 and 9).
+
+The monomorphic identity function serializes both calls through its
+argument's fixed home processor and ships the values there and back; the
+polymorphic version runs each call where its data lives. The paper:
+"Not only can f(b) and f(c) be done in parallel but also four messages
+have been eliminated." Our calling convention broadcasts results, so two
+of those four transfers remain; the two argument transfers and the
+serialization disappear, which the assertions pin down.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import format_table
+from repro.core.compiler import Strategy, compile_program
+from repro.core.runner import execute
+
+MONO = """
+map b on proc(2);
+map c on proc(3);
+map r1 on proc(2);
+map r2 on proc(3);
+map a on proc(1);
+map total on proc(0);
+procedure f(a: int) returns int { return a; }
+procedure main() returns int {
+    let b = 20;
+    let c = 30;
+    let r1 = f(b);
+    let r2 = f(c);
+    let total = r1 + r2;
+    return total;
+}
+"""
+
+POLY = (
+    MONO.replace("map a on proc(1);", "map a on proc(P);")
+    .replace("procedure f(a: int)", "procedure f[P](a: int)")
+    .replace("f(b)", "f[2](b)")
+    .replace("f(c)", "f[3](c)")
+)
+
+_cache: dict = {}
+
+
+def _rows(machine):
+    if "rows" not in _cache:
+        rows = []
+        for label, source in (("monomorphic", MONO), ("polymorphic", POLY)):
+            compiled = compile_program(
+                source, strategy=Strategy.COMPILE_TIME, entry="main"
+            )
+            out = execute(compiled, 4, machine=machine)
+            assert out.value == 50, label
+            rows.append(
+                {
+                    "version": label,
+                    "messages": out.total_messages,
+                    "time_us": out.makespan_us,
+                }
+            )
+        _cache["rows"] = rows
+    return _cache["rows"]
+
+
+def test_polymorphism_study(benchmark, machine, capsys):
+    rows = run_once(benchmark, lambda: _rows(machine))
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                ["version", "messages", "time_us"],
+                "Figures 8 vs 9 (S=4)",
+            )
+        )
+    mono, poly = rows
+    # The two argument transfers through the fixed home are gone.
+    assert poly["messages"] == mono["messages"] - 2
+    assert poly["time_us"] < mono["time_us"]

@@ -1,0 +1,48 @@
+"""Cost-model sensitivity — DESIGN.md §6.
+
+The reproduction's qualitative claims must not hinge on the exact iPSC/2
+constants. This bench sweeps the message start-up cost over two orders of
+magnitude and checks the strategy ordering at every point, as long as
+start-up stays the dominant term ("messages on the Intel iPSC/2 are very
+expensive").
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench import measure
+from repro.machine import MachineParams
+
+N = 32
+NPROCS = 4
+ALPHAS = [50.0, 150.0, 350.0, 1000.0, 3000.0]
+
+
+def _ordering_at(alpha: float):
+    machine = MachineParams.ipsc2().with_(send_startup_us=alpha)
+    times = {
+        name: measure(name, N, NPROCS, blksize=4, machine=machine).time_us
+        for name in ("runtime", "compile", "optI", "optII", "optIII")
+    }
+    return times
+
+
+def test_alpha_sweep(benchmark, capsys):
+    results = run_once(
+        benchmark, lambda: {alpha: _ordering_at(alpha) for alpha in ALPHAS}
+    )
+    with capsys.disabled():
+        print()
+        for alpha, times in results.items():
+            pretty = ", ".join(f"{k}={v / 1000:.1f}ms" for k, v in times.items())
+            print(f"alpha={alpha:7.1f}us: {pretty}")
+    for alpha, times in results.items():
+        assert times["runtime"] >= times["compile"] * 0.999, alpha
+        assert times["optI"] > times["optII"], alpha
+        assert times["optII"] > times["optIII"], alpha
+
+
+@pytest.mark.parametrize("alpha", [150.0, 1000.0])
+def test_optIII_still_best_compiled(alpha):
+    times = _ordering_at(alpha)
+    assert times["optIII"] == min(times.values())

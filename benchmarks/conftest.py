@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks default to a 48x48 grid so the whole suite runs in a couple of
+minutes; set ``REPRO_BENCH_N=128`` (the paper's grid) for the full-scale
+numbers recorded in EXPERIMENTS.md. Every benchmark verifies its computed
+grid against the sequential oracle before reporting timings.
+"""
+
+import os
+
+import pytest
+
+from repro.machine import MachineParams
+
+GRID_N = int(os.environ.get("REPRO_BENCH_N", "48"))
+PROC_COUNTS = [int(s) for s in os.environ.get(
+    "REPRO_BENCH_PROCS", "2,4,8,16"
+).split(",")]
+BLKSIZE = 8
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return MachineParams.ipsc2()
+
+
+@pytest.fixture(scope="session")
+def grid_n():
+    return GRID_N
+
+
+def run_once(benchmark, fn):
+    """Run a measurement exactly once under pytest-benchmark.
+
+    The interesting numbers are *simulated* microseconds, which are
+    deterministic; wall-clock repetition would only re-run identical
+    simulations.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

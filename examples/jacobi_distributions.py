@@ -1,0 +1,69 @@
+"""One kernel, several domain decompositions.
+
+The same Jacobi step compiled under wrapped columns, block columns, and
+wrapped rows — the decomposition is the *only* thing that changes, which
+is the paper's central idea: "the programmer ... specifies the domain
+decomposition ... the compiler performs process decomposition". Run
+with::
+
+    python examples/jacobi_distributions.py [N] [S]
+"""
+
+import sys
+
+from repro.apps import jacobi
+from repro.bench import format_table
+from repro.core import Strategy, compile_program, execute
+from repro.machine import MachineParams
+from repro.spmd.layout import make_full
+
+
+def measure(source: str, label: str, n: int, nprocs: int) -> dict:
+    compiled = compile_program(
+        source,
+        strategy=Strategy.COMPILE_TIME,
+        entry="jacobi_step",
+        entry_shapes={"Old": ("N", "N")},
+        assume_nprocs_min=2 if nprocs >= 2 else 1,
+    )
+    old = make_full((n, n), lambda i, j: i + j, name="Old")
+    outcome = execute(
+        compiled, nprocs,
+        inputs={"Old": old},
+        params={"N": n},
+        machine=MachineParams.ipsc2(),
+    )
+    rows = [[(i + 1) + (j + 1) for j in range(n)] for i in range(n)]
+    assert outcome.value.to_nested() == jacobi.reference_rows(n, rows)
+    return {
+        "decomposition": label,
+        "time_ms": f"{outcome.makespan_us / 1000:.1f}",
+        "messages": outcome.total_messages,
+    }
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    rows = [
+        measure(jacobi.SOURCE_WRAPPED, "wrapped_cols", n, nprocs),
+        measure(jacobi.SOURCE_BLOCK, "block_cols", n, nprocs),
+        measure(jacobi.SOURCE_ROWS, "wrapped_rows", n, nprocs),
+    ]
+    print(
+        format_table(
+            rows,
+            ["decomposition", "time_ms", "messages"],
+            f"Jacobi step, N={n}, S={nprocs} (same kernel, three mappings)",
+        )
+    )
+    print()
+    print(
+        "Block columns communicate only across block edges, so they"
+        " exchange far fewer messages than card-dealt columns for this"
+        " all-neighbour stencil."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Package metadata lives in pyproject.toml. This file exists so the package
+can be installed in environments without the ``wheel`` package (offline
+boxes), via ``python setup.py develop`` or legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

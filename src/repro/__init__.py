@@ -1,0 +1,48 @@
+"""Process Decomposition Through Locality of Reference — a reproduction.
+
+Implements the compilation system of Rogers & Pingali (PLDI 1989): given
+a sequential mini-Id program and its domain decomposition, derive the
+message-passing process each processor of a distributed-memory machine
+runs, then optimize the messages (vectorization, jamming, strip mining)
+— all executed and measured on a simulated Intel iPSC/2.
+
+Typical use::
+
+    from repro import compile_program, execute, Strategy, OptLevel
+    from repro.machine import MachineParams
+    from repro.spmd.layout import make_full
+
+    compiled = compile_program(source, strategy=Strategy.COMPILE_TIME,
+                               opt_level=OptLevel.STRIPMINE,
+                               entry_shapes={"Old": ("N", "N")})
+    outcome = execute(compiled, nprocs=8,
+                      inputs={"Old": make_full((64, 64), 1)},
+                      params={"N": 64}, machine=MachineParams.ipsc2())
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.core import (
+    ArrayInfo,
+    CompiledProgram,
+    ExecutionOutcome,
+    OptLevel,
+    Strategy,
+    compile_program,
+    execute,
+)
+from repro.machine import MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayInfo",
+    "CompiledProgram",
+    "ExecutionOutcome",
+    "MachineParams",
+    "OptLevel",
+    "Strategy",
+    "compile_program",
+    "execute",
+    "__version__",
+]

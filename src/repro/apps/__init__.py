@@ -1,0 +1,8 @@
+"""Application programs used by the paper's evaluation and our examples.
+
+* :mod:`repro.apps.gauss_seidel` — the wavefront running example
+  (Figures 1 and 3).
+* :mod:`repro.apps.simple` — the three-scalar program of Figure 4.
+* :mod:`repro.apps.jacobi` — Jacobi relaxation (all-old operands).
+* :mod:`repro.apps.matmul` — distributed matrix multiply.
+"""

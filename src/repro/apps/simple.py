@@ -1,0 +1,22 @@
+"""Figure 4's three-scalar program, as library data.
+
+The smallest program that shows both resolution strategies end to end:
+``a`` on P1, ``b`` on P2, their sum computed where ``c`` lives (P3).
+"""
+
+SOURCE = """
+-- Figure 4a: a:P1, b:P2, c:P3
+map a on proc(1);
+map b on proc(2);
+map c on proc(3);
+
+procedure main() returns int {
+    let a = 5;
+    let b = 7;
+    let c = a + b;
+    return c;
+}
+"""
+
+EXPECTED_VALUE = 12
+EXPECTED_COERCE_MESSAGES = 2  # a: P1->P3 and b: P2->P3

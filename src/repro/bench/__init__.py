@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerates the paper's tables and figures.
+
+:mod:`repro.bench.harness` runs any strategy at any configuration and
+returns measurement points; :mod:`repro.bench.report` renders the series
+as the text tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    STRATEGY_ORDER,
+    MeasurePoint,
+    measure,
+    sweep_nprocs,
+)
+from repro.bench.report import format_series, format_table
+
+__all__ = [
+    "MeasurePoint",
+    "STRATEGY_ORDER",
+    "format_series",
+    "format_table",
+    "measure",
+    "sweep_nprocs",
+]

@@ -1,0 +1,150 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro.bench fig6 [--n 128] [--procs 2,4,8,16,32]
+    python -m repro.bench fig7 [--n 128] [--blksize 8]
+    python -m repro.bench msgcount
+    python -m repro.bench blocksize [--n 128] [--nprocs 8]
+    python -m repro.bench timeline [--strategy optIII] [--n 24] [--nprocs 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import STRATEGY_ORDER, measure, sweep_nprocs
+from repro.bench.report import format_series, format_table
+
+
+def _parse_procs(text: str) -> list[int]:
+    return [int(s) for s in text.split(",") if s]
+
+
+def cmd_fig6(args) -> None:
+    series = sweep_nprocs(
+        ["runtime", "compile", "optI", "handwritten"],
+        args.n,
+        _parse_procs(args.procs),
+        blksize=args.blksize,
+    )
+    print(format_series(series, "time_ms", f"Figure 6 (N={args.n}, ms)"))
+    print()
+    print(format_series(series, "messages", "messages"))
+
+
+def cmd_fig7(args) -> None:
+    series = sweep_nprocs(
+        ["optI", "optII", "optIII", "handwritten"],
+        args.n,
+        _parse_procs(args.procs),
+        blksize=args.blksize,
+    )
+    print(format_series(series, "time_ms", f"Figure 7 (N={args.n}, ms)"))
+    print()
+    print(format_series(series, "messages", "messages"))
+
+
+def cmd_msgcount(args) -> None:
+    rows = []
+    for strategy, nprocs in (("runtime", 2), ("compile", 2),
+                             ("optIII", 4), ("handwritten", 4)):
+        point = measure(strategy, 128, nprocs, blksize=8)
+        rows.append({"strategy": strategy, "messages": point.messages})
+    print(
+        format_table(
+            rows, ["strategy", "messages"],
+            "message counts at 128x128 (paper footnote 3: 31752 vs 2142)",
+        )
+    )
+
+
+def cmd_blocksize(args) -> None:
+    rows = []
+    for blk in (1, 2, 4, 8, 16, 32):
+        point = measure("optIII", args.n, args.nprocs, blksize=blk)
+        rows.append(
+            {
+                "blksize": blk,
+                "time_ms": f"{point.time_ms:.1f}",
+                "messages": point.messages,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            ["blksize", "time_ms", "messages"],
+            f"Optimized III vs block size (N={args.n}, S={args.nprocs})",
+        )
+    )
+
+
+def cmd_timeline(args) -> None:
+    from repro.apps import gauss_seidel as gs
+    from repro.core.compiler import OptLevel, Strategy, compile_program
+    from repro.core.runner import execute
+    from repro.machine.trace import render_timeline
+    from repro.spmd.layout import make_full
+
+    levels = {
+        "compile": OptLevel.NONE,
+        "optI": OptLevel.VECTORIZE,
+        "optII": OptLevel.JAM,
+        "optIII": OptLevel.STRIPMINE,
+    }
+    compiled = compile_program(
+        gs.SOURCE,
+        strategy=Strategy.COMPILE_TIME,
+        opt_level=levels[args.strategy],
+        entry_shapes={"Old": ("N", "N")},
+        assume_nprocs_min=2 if args.nprocs >= 2 else 1,
+    )
+    outcome = execute(
+        compiled,
+        args.nprocs,
+        inputs={"Old": make_full((args.n, args.n), 1)},
+        params={"N": args.n},
+        extra_globals={"blksize": args.blksize},
+        trace=True,
+    )
+    print(render_timeline(outcome.sim, label=args.strategy))
+    print(
+        f"messages={outcome.total_messages} "
+        f"time={outcome.makespan_us / 1000:.1f} ms"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn in (
+        ("fig6", cmd_fig6),
+        ("fig7", cmd_fig7),
+        ("msgcount", cmd_msgcount),
+        ("blocksize", cmd_blocksize),
+        ("timeline", cmd_timeline),
+    ):
+        cmd = sub.add_parser(name)
+        cmd.set_defaults(fn=fn)
+        cmd.add_argument("--n", type=int, default=48)
+        cmd.add_argument("--procs", type=str, default="2,4,8,16")
+        cmd.add_argument("--nprocs", type=int, default=8)
+        cmd.add_argument("--blksize", type=int, default=8)
+        if name == "timeline":
+            cmd.add_argument(
+                "--strategy",
+                choices=["compile", "optI", "optII", "optIII"],
+                default="optIII",
+            )
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

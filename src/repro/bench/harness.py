@@ -1,0 +1,155 @@
+"""Measurement harness for the evaluation experiments.
+
+A *strategy* is one curve in the paper's figures:
+
+=============  ==========================================================
+``runtime``    run-time resolution (§3.1)
+``compile``    compile-time resolution, unoptimized (§3.2, Figure 5)
+``optI``       + message vectorization (Appendix A.2)
+``optII``      + loop jamming (Appendix A.3)
+``optIII``     + strip mining (Appendix A.4)
+``handwritten`` the Figure-3 program written by hand in the IR
+=============  ==========================================================
+
+Every measurement also verifies the computed grid against the sequential
+oracle — a benchmark that produced wrong answers would be worthless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.apps import gauss_seidel as gs
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.machine import MachineParams
+from repro.spmd.interp import run_spmd
+from repro.spmd.layout import gather, make_full, scatter
+
+STRATEGY_ORDER = [
+    "runtime",
+    "compile",
+    "optI",
+    "optII",
+    "optIII",
+    "handwritten",
+]
+
+_COMPILED = {
+    "runtime": (Strategy.RUNTIME, OptLevel.NONE),
+    "compile": (Strategy.COMPILE_TIME, OptLevel.NONE),
+    "optI": (Strategy.COMPILE_TIME, OptLevel.VECTORIZE),
+    "optII": (Strategy.COMPILE_TIME, OptLevel.JAM),
+    "optIII": (Strategy.COMPILE_TIME, OptLevel.STRIPMINE),
+}
+
+
+@dataclass(frozen=True)
+class MeasurePoint:
+    """One simulated execution."""
+
+    strategy: str
+    n: int
+    nprocs: int
+    blksize: int
+    time_us: float
+    messages: int
+    bytes: int
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_us / 1000.0
+
+
+@lru_cache(maxsize=64)
+def _compiled(strategy: str, source: str, assume_min: int):
+    strat, level = _COMPILED[strategy]
+    return compile_program(
+        source,
+        strategy=strat,
+        opt_level=level,
+        entry_shapes={"Old": ("N", "N")},
+        assume_nprocs_min=assume_min,
+    )
+
+
+def measure(
+    strategy: str,
+    n: int,
+    nprocs: int,
+    blksize: int = 8,
+    machine: MachineParams | None = None,
+    source: str | None = None,
+    verify: bool = True,
+) -> MeasurePoint:
+    """Run one strategy on the N x N wavefront problem and measure it."""
+    machine = machine or MachineParams.ipsc2()
+    old = make_full((n, n), 1, name="Old")
+    expected = gs.reference_rows(n, [[1] * n for _ in range(n)]) if verify else None
+
+    if strategy == "handwritten":
+        program = gs.handwritten_wavefront()
+        parts = scatter(old, gs.DISTRIBUTION, nprocs, name="Old")
+        result = run_spmd(
+            program,
+            nprocs,
+            lambda rank: [parts[rank]],
+            machine=machine,
+            globals_={"N": n, "blksize": blksize, "c": 1, "bval": 1},
+        )
+        if verify:
+            new = gather(result.returned, gs.DISTRIBUTION, nprocs, (n, n))
+            _check(new, expected, strategy)
+        time_us = result.makespan_us
+        messages = result.total_messages
+        nbytes = result.sim.stats.total_bytes
+    else:
+        # Promise S >= 2 only when we actually run more than one processor.
+        assume_min = 2 if nprocs >= 2 else 1
+        compiled = _compiled(strategy, source or gs.SOURCE, assume_min)
+        outcome = execute(
+            compiled,
+            nprocs,
+            inputs={"Old": old},
+            params={"N": n},
+            machine=machine,
+            extra_globals={"blksize": blksize},
+        )
+        if verify:
+            _check(outcome.value, expected, strategy)
+        time_us = outcome.makespan_us
+        messages = outcome.total_messages
+        nbytes = outcome.sim.stats.total_bytes
+
+    return MeasurePoint(
+        strategy=strategy,
+        n=n,
+        nprocs=nprocs,
+        blksize=blksize,
+        time_us=time_us,
+        messages=messages,
+        bytes=nbytes,
+    )
+
+
+def _check(new, expected, strategy: str) -> None:
+    if new.to_nested() != expected:
+        raise AssertionError(f"strategy {strategy!r} computed a wrong grid")
+
+
+def sweep_nprocs(
+    strategies: list[str],
+    n: int,
+    proc_counts: list[int],
+    blksize: int = 8,
+    machine: MachineParams | None = None,
+) -> dict[str, list[MeasurePoint]]:
+    """One series per strategy over the given ring sizes."""
+    return {
+        strategy: [
+            measure(strategy, n, nprocs, blksize=blksize, machine=machine)
+            for nprocs in proc_counts
+        ]
+        for strategy in strategies
+    }

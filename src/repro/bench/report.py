@@ -1,0 +1,56 @@
+"""Text rendering of measurement series (the tables in EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import MeasurePoint
+
+
+def format_series(
+    series: dict[str, list[MeasurePoint]],
+    value: str = "time_ms",
+    title: str = "",
+) -> str:
+    """Render {strategy: [points]} as a table with one column per x-value."""
+    strategies = list(series)
+    xs = sorted({p.nprocs for points in series.values() for p in points})
+    header = ["strategy".ljust(12)] + [f"S={x}".rjust(12) for x in xs]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header))
+    lines.append("-" * len(lines[-1]))
+    for strategy in strategies:
+        by_x = {p.nprocs: p for p in series[strategy]}
+        row = [strategy.ljust(12)]
+        for x in xs:
+            point = by_x.get(x)
+            if point is None:
+                row.append("-".rjust(12))
+            elif value == "time_ms":
+                row.append(f"{point.time_ms:12.1f}")
+            elif value == "messages":
+                row.append(f"{point.messages:12d}")
+            elif value == "bytes":
+                row.append(f"{point.bytes:12d}")
+            else:
+                raise ValueError(f"unknown value column {value!r}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def format_table(rows: list[dict], columns: list[str], title: str = "") -> str:
+    """Generic table: rows are dicts, columns pick and order the keys."""
+    widths = {
+        col: max(len(col), *(len(str(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(widths[col]) for col in columns))
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The paper's contribution: process decomposition through locality.
+
+Given a checked mini-Id program and its domain decomposition, this package
+derives the SPMD message-passing program each processor runs:
+
+* :mod:`repro.core.runtime_resolution` — §3.1's run-time resolution:
+  owner-computes guards plus ``coerce`` on every mapped operand.
+* :mod:`repro.core.compile_time` — §3.2's compile-time resolution:
+  evaluators/participants propagation, coerce splitting, guard-driven
+  loop distribution, and loop-bound specialization via the mapping
+  equation solver.
+* :mod:`repro.core.transforms` — §4's message optimizations
+  (vectorization, loop jamming, strip mining).
+* :mod:`repro.core.compiler` — the driver tying it all together.
+"""
+
+from repro.core.common import ArrayInfo, CompiledProgram
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import ExecutionOutcome, execute
+
+__all__ = [
+    "ArrayInfo",
+    "CompiledProgram",
+    "ExecutionOutcome",
+    "OptLevel",
+    "Strategy",
+    "compile_program",
+    "execute",
+]

@@ -1,0 +1,145 @@
+"""The compilation driver.
+
+``compile_program`` is the library's front door: it takes mini-Id source
+(or an already-checked program), the domain decomposition, a strategy and
+an optimization level, and produces a :class:`CompiledProgram` ready for
+:func:`repro.core.runner.execute`.
+
+Strategies and levels map onto the paper:
+
+======================  =====================================================
+``Strategy.RUNTIME``    §3.1 run-time resolution (Figure 4b)
+``Strategy.COMPILE_TIME``  §3.2 compile-time resolution (Figures 4d, 5)
+``OptLevel.NONE``       no message optimization
+``OptLevel.VECTORIZE``  Optimized I — combine loop-invariant sends (A.2)
+``OptLevel.JAM``        Optimized II — + loop jamming / pipelining (A.3)
+``OptLevel.STRIPMINE``  Optimized III — + strip mining / blocking (A.4)
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+from repro.distrib import DecompositionSpec
+from repro.errors import CompileError
+from repro.lang import check_program, parse_program
+from repro.lang.typecheck import CheckedProgram
+from repro.core.common import (
+    CompiledProgram,
+    entry_return_array_info,
+    infer_array_info,
+)
+from repro.core.runtime_resolution import RuntimeResolver
+from repro.spmd import validate_program
+
+
+class Strategy(str, Enum):
+    RUNTIME = "runtime"
+    COMPILE_TIME = "compile_time"
+
+
+class OptLevel(IntEnum):
+    NONE = 0
+    VECTORIZE = 1  # Optimized I
+    JAM = 2  # Optimized II
+    STRIPMINE = 3  # Optimized III
+
+
+def compile_program(
+    source: str | CheckedProgram,
+    spec: DecompositionSpec | None = None,
+    entry: str | None = None,
+    strategy: Strategy = Strategy.COMPILE_TIME,
+    opt_level: OptLevel = OptLevel.NONE,
+    entry_shapes: dict[str, tuple] | None = None,
+    assume_nprocs_min: int = 1,
+) -> CompiledProgram:
+    """Compile a program under a domain decomposition.
+
+    ``entry_shapes`` gives the global shape of each entry array parameter
+    as expressions over params/consts, e.g. ``{"Old": ("N", "N")}``.
+    ``assume_nprocs_min`` lets compile-time resolution fold guards that
+    would otherwise need a run-time test for degenerate ring sizes
+    (e.g. 2 promises S >= 2, so neighbouring columns are always remote).
+    """
+    if isinstance(source, str):
+        from repro.core.polymorphism import monomorphize
+
+        checked = check_program(monomorphize(parse_program(source)))
+    else:
+        checked = source
+        if any(p.map_params for p in checked.procs.values()):
+            raise CompileError(
+                "program has mapping-polymorphic procedures; pass the source "
+                "text (or run repro.core.polymorphism.monomorphize first)"
+            )
+    if spec is None:
+        spec = DecompositionSpec.from_program(checked)
+    if entry is None:
+        entry = _default_entry(checked)
+    if entry not in checked.procs:
+        raise CompileError(f"unknown entry procedure {entry!r}")
+    if opt_level is not OptLevel.NONE and strategy is Strategy.RUNTIME:
+        raise CompileError(
+            "message optimizations apply to compile-time resolution only "
+            "(the paper's Optimized I-III start from Figure 5)"
+        )
+
+    array_info = infer_array_info(checked, spec, entry, entry_shapes)
+
+    if strategy is Strategy.RUNTIME:
+        resolver = RuntimeResolver(checked, spec, array_info)
+        program = resolver.generate(entry, name=f"rtr-{entry}")
+    else:
+        from repro.core.compile_time import CompileTimeResolver
+
+        resolver = CompileTimeResolver(
+            checked, spec, array_info, assume_nprocs_min=assume_nprocs_min
+        )
+        program = resolver.generate(entry, name=f"ctr-{entry}")
+        if opt_level >= OptLevel.VECTORIZE:
+            from repro.core.transforms import optimize
+
+            program = optimize(program, opt_level)
+
+    validate_program(program)
+    return CompiledProgram(
+        program=program,
+        checked=checked,
+        spec=spec,
+        entry=entry,
+        strategy=f"{strategy.value}+O{int(opt_level)}"
+        if strategy is Strategy.COMPILE_TIME
+        else strategy.value,
+        array_info=array_info,
+        entry_array_params=[
+            p.name for p in checked.proc(entry).params if p.type.is_array()
+        ],
+        entry_return_array=entry_return_array_info(checked, entry, array_info),
+        param_names=list(checked.params),
+    )
+
+
+def _default_entry(checked: CheckedProgram) -> str:
+    """The procedure nobody calls; error if ambiguous."""
+    from repro.lang import ast
+
+    called: set[str] = set()
+    for proc in checked.procs.values():
+        for stmt in ast.walk_stmts(proc.body):
+            if isinstance(stmt, ast.CallStmt):
+                called.add(stmt.func)
+            for e in ast.stmt_exprs(stmt):
+                if e is None:
+                    continue
+                for sub in ast.walk_exprs(e):
+                    if isinstance(sub, ast.CallExpr) and sub.func in checked.procs:
+                        called.add(sub.func)
+    roots = [name for name in checked.procs if name not in called]
+    if len(roots) == 1:
+        return roots[0]
+    raise CompileError(
+        f"cannot pick an entry procedure automatically (roots: {roots}); "
+        "pass entry=..."
+    )

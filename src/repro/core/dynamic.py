@@ -1,0 +1,99 @@
+"""Process placement and load balancing (paper §5.3–5.4).
+
+The paper sketches two extensions to the fixed one-process-per-processor
+model:
+
+* **multiple processes per processor** — "to ensure that when one process
+  needs to wait for a remote reference the processor running it will have
+  work to do" (latency hiding), supported directly by the simulator's
+  ``placement`` parameter;
+* **load balancing that moves a process and its data together** —
+  "Processes may be shuffled from overloaded to underloaded nodes without
+  slowing their execution if the data associated with a process is moved
+  along with the code."
+
+This module implements the simple scheme the paper proposes: run the
+decomposition once, observe per-process busy times, and greedily repack
+processes onto processors (longest-processing-time-first). Moving a
+process is charged for shipping its data (``migration_us_per_byte`` ×
+local bytes), which the returned plan reports so experiments can account
+for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class PlacementPlan:
+    """A process → processor assignment plus its migration cost."""
+
+    placement: list[int]
+    moved: list[int] = field(default_factory=list)  # processes that migrated
+    migration_us: float = 0.0
+
+    @property
+    def ncpus(self) -> int:
+        return max(self.placement) + 1 if self.placement else 0
+
+
+def round_robin_placement(nprocesses: int, ncpus: int) -> PlacementPlan:
+    """The dealer's deal: process k on processor k mod C."""
+    return PlacementPlan(placement=[k % ncpus for k in range(nprocesses)])
+
+
+def block_placement(nprocesses: int, ncpus: int) -> PlacementPlan:
+    """Contiguous groups of processes per processor."""
+    width = -(-nprocesses // ncpus)
+    return PlacementPlan(placement=[k // width for k in range(nprocesses)])
+
+
+def rebalance(
+    busy_times_us: list[float],
+    ncpus: int,
+    current: list[int] | None = None,
+    data_bytes: list[int] | None = None,
+    migration_us_per_byte: float = 0.36,
+) -> PlacementPlan:
+    """Greedy longest-processing-time-first repacking.
+
+    ``busy_times_us`` is the observed per-process work from a previous
+    run. Processes are assigned, heaviest first, to the least-loaded
+    processor. Migration cost is charged for every process whose
+    processor changed relative to ``current`` (moving the process's data
+    with it, per the paper's scheme).
+    """
+    nprocesses = len(busy_times_us)
+    if ncpus < 1:
+        raise SimulationError("need at least one processor")
+    order = sorted(range(nprocesses), key=lambda k: -busy_times_us[k])
+    loads = [0.0] * ncpus
+    placement = [0] * nprocesses
+    for k in order:
+        cpu = min(range(ncpus), key=lambda c: loads[c])
+        placement[k] = cpu
+        loads[cpu] += busy_times_us[k]
+    moved: list[int] = []
+    migration_us = 0.0
+    if current is not None:
+        for k in range(nprocesses):
+            if placement[k] != current[k]:
+                moved.append(k)
+                if data_bytes is not None:
+                    migration_us += data_bytes[k] * migration_us_per_byte
+    return PlacementPlan(
+        placement=placement, moved=moved, migration_us=migration_us
+    )
+
+
+def imbalance(cpu_busy_us: list[float]) -> float:
+    """max/mean processor load — 1.0 is perfect balance."""
+    if not cpu_busy_us or max(cpu_busy_us) == 0:
+        return 1.0
+    mean = sum(cpu_busy_us) / len(cpu_busy_us)
+    if mean == 0:
+        return float("inf")
+    return max(cpu_busy_us) / mean

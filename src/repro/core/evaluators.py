@@ -1,0 +1,194 @@
+"""Evaluators and participants propagation (paper §3.2, Figure 4c).
+
+Every AST node gets two attributes:
+
+* **evaluators** — the processors that perform the node's operation;
+* **participants** — the processors that take part anywhere in the
+  node's subtree ("the union of the evaluators of the nodes in the
+  subtree").
+
+Sets are abstracted as either the lattice top ``ALL`` (every processor
+may be involved — always sound) or a finite set of symbolic processor
+expressions. Loop-dependent element ownership is deliberately abstracted
+to ``ALL`` here; the precise per-iteration reasoning happens in the
+loop-bound solver. What this analysis buys is interprocedural: a call to
+a procedure whose participants exclude this processor can be skipped
+entirely, which is precisely the payoff of mapping polymorphism
+(Figures 8 and 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distrib import DecompositionSpec, OnProc
+from repro.lang import ast
+from repro.lang.typecheck import CheckedProgram
+from repro.symbolic import Expr, simplify
+
+
+@dataclass(frozen=True)
+class ProcSet:
+    """ALL, or a finite set of symbolic processor expressions."""
+
+    is_all: bool
+    members: frozenset[Expr] = frozenset()
+
+    @classmethod
+    def all_procs(cls) -> "ProcSet":
+        return cls(is_all=True)
+
+    @classmethod
+    def of(cls, *exprs: Expr) -> "ProcSet":
+        return cls(is_all=False, members=frozenset(simplify(e) for e in exprs))
+
+    @classmethod
+    def empty(cls) -> "ProcSet":
+        return cls(is_all=False, members=frozenset())
+
+    def union(self, other: "ProcSet") -> "ProcSet":
+        if self.is_all or other.is_all:
+            return ProcSet.all_procs()
+        return ProcSet(is_all=False, members=self.members | other.members)
+
+    def subst(self, bindings: dict[str, Expr]) -> "ProcSet":
+        if self.is_all:
+            return self
+        return ProcSet(
+            is_all=False,
+            members=frozenset(
+                simplify(m.subst(bindings)) for m in self.members
+            ),
+        )
+
+    def __str__(self) -> str:
+        if self.is_all:
+            return "ALL"
+        return "{" + ", ".join(sorted(str(m) for m in self.members)) + "}"
+
+
+ALL = ProcSet.all_procs()
+
+
+class ParticipantsAnalysis:
+    """Computes participants per procedure and per statement."""
+
+    def __init__(self, checked: CheckedProgram, spec: DecompositionSpec):
+        self.checked = checked
+        self.spec = spec
+        self.proc_participants: dict[str, ProcSet] = {}
+        self.stmt_participants: dict[int, ProcSet] = {}  # stmt uid -> set
+
+    def run(self) -> "ParticipantsAnalysis":
+        # Fixpoint over procedures (recursion-safe: start from empty and
+        # grow monotonically; ALL is the top).
+        for name in self.checked.procs:
+            self.proc_participants[name] = ProcSet.empty()
+        for _ in range(len(self.checked.procs) + 2):
+            changed = False
+            for proc in self.checked.procs.values():
+                new = self._body_set(proc.body)
+                old = self.proc_participants[proc.name]
+                merged = old.union(new)
+                if merged != old:
+                    self.proc_participants[proc.name] = merged
+                    changed = True
+            if not changed:
+                break
+        return self
+
+    def participants_of_proc(self, name: str) -> ProcSet:
+        return self.proc_participants.get(name, ALL)
+
+    def participants_of_stmt(self, stmt: ast.Stmt) -> ProcSet:
+        return self.stmt_participants.get(stmt.uid, ALL)
+
+    # -- internals ---------------------------------------------------------
+    def _body_set(self, body: list[ast.Stmt]) -> ProcSet:
+        out = ProcSet.empty()
+        for stmt in body:
+            out = out.union(self._stmt_set(stmt))
+        return out
+
+    def _stmt_set(self, stmt: ast.Stmt) -> ProcSet:
+        result = self._stmt_set_inner(stmt)
+        self.stmt_participants[stmt.uid] = result
+        return result
+
+    def _stmt_set_inner(self, stmt: ast.Stmt) -> ProcSet:
+        if isinstance(stmt, ast.LetStmt):
+            return self._binding_set(stmt.name, stmt.init)
+        if isinstance(stmt, ast.AssignStmt):
+            if isinstance(stmt.target, ast.Name):
+                return self._binding_set(stmt.target.id, stmt.value)
+            # Element ownership varies with the indices: approximate ALL.
+            return ALL
+        if isinstance(stmt, ast.ForStmt):
+            return self._body_set(stmt.body)
+        if isinstance(stmt, ast.IfStmt):
+            # "The union of the participants of the then-branch and
+            # else-branch defines the evaluators for a conditional."
+            branches = self._body_set(stmt.then_body).union(
+                self._body_set(stmt.else_body)
+            )
+            return branches.union(self._expr_set(stmt.cond))
+        if isinstance(stmt, ast.CallStmt):
+            return self._call_set(stmt.func, stmt.args)
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                return ProcSet.empty()
+            return self._expr_set(stmt.value)
+        return ALL
+
+    def _binding_set(self, name: str, value: ast.Expr) -> ProcSet:
+        operands = self._expr_set(value)
+        if isinstance(value, ast.AllocExpr):
+            return ALL  # every processor allocates its local part
+        try:
+            placement = self.spec.placement_of(name)
+        except Exception:
+            return ALL  # array-valued binding
+        if isinstance(placement, OnProc):
+            return operands.union(ProcSet.of(placement.proc))
+        return ALL  # replicated target: everyone evaluates
+
+    def _expr_set(self, e: ast.Expr | None) -> ProcSet:
+        if e is None:
+            return ProcSet.empty()
+        out = ProcSet.empty()
+        for node in ast.walk_exprs(e):
+            if isinstance(node, ast.Name):
+                out = out.union(self._name_set(node.id))
+            elif isinstance(node, ast.Index):
+                out = ALL  # per-element ownership: approximate
+            elif isinstance(node, ast.CallExpr) and node.func in self.checked.procs:
+                out = out.union(self._call_set(node.func, node.args))
+        return out
+
+    def _name_set(self, name: str) -> ProcSet:
+        type_table = None
+        for table in self.checked.var_types.values():
+            if name in table:
+                type_table = table[name]
+                break
+        if type_table is not None and type_table.is_array():
+            return ALL
+        try:
+            placement = self.spec.placement_of(name)
+        except Exception:
+            return ALL
+        if isinstance(placement, OnProc):
+            return ProcSet.of(placement.proc)
+        return ProcSet.empty()  # replicated data costs nobody a message
+
+    def _call_set(self, func: str, args: list[ast.Expr]) -> ProcSet:
+        """Apply the callee's participants function to the call site.
+
+        "To determine the evaluators of a particular function call, the
+        participants function is symbolically applied to the actual
+        parameters" (§3.2).
+        """
+        callee_set = self.proc_participants.get(func, ALL)
+        arg_sets = ProcSet.empty()
+        for arg in args:
+            arg_sets = arg_sets.union(self._expr_set(arg))
+        return callee_set.union(arg_sets)

@@ -1,0 +1,251 @@
+"""Mapping polymorphism (paper §5.1, Figures 8 and 9).
+
+A procedure may abstract over the processors in its mapping annotations:
+
+.. code-block:: none
+
+    procedure f[P](a: int) returns int { return a; }
+    map a on proc(P);
+    ...
+    let r = f[2](b);    -- the instance of f whose argument lives on P2
+
+Exactly as abstracting types yields polymorphic type systems, abstracting
+mappings yields mapping polymorphism; and as with ML-style polymorphism
+compiled by specialization, we *monomorphize*: each distinct tuple of map
+arguments produces one instance of the procedure, with its mapped
+parameters/locals renamed apart and their ``map`` declarations
+instantiated. Compile-time resolution then sees only fixed mappings —
+and each call executes on the instance's own participants, which is what
+removes the Figure-8 serialization through P1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.pretty import unparse_expr
+
+_MAX_INSTANCES = 64
+
+
+def monomorphize(program: ast.Program) -> ast.Program:
+    """Expand every mapping-polymorphic call into a fixed-map instance."""
+    poly = {p.name: p for p in program.procedures if p.map_params}
+    if not poly:
+        return program
+    state = _State(program=program, poly=poly)
+    new_procs: list[ast.ProcDecl] = []
+    for proc in program.procedures:
+        if proc.name in poly:
+            continue
+        new_procs.append(
+            ast.ProcDecl(
+                name=proc.name,
+                params=[_clone_param(p) for p in proc.params],
+                returns=proc.returns,
+                body=[state.rewrite_stmt(s, {}) for s in proc.body],
+                map_params=[],
+            )
+        )
+    # Map declarations naming variables of polymorphic procedures are
+    # replaced by per-instance declarations.
+    poly_local_names = set()
+    for proc in poly.values():
+        poly_local_names.update(p.name for p in proc.params)
+        poly_local_names.update(
+            s.name for s in ast.walk_stmts(proc.body) if isinstance(s, ast.LetStmt)
+        )
+    decls: list[ast.Decl] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.ProcDecl):
+            continue
+        if isinstance(decl, ast.MapDecl) and decl.name in poly_local_names:
+            continue
+        decls.append(decl)
+    decls.extend(state.new_map_decls)
+    decls.extend(new_procs)
+    decls.extend(state.instances.values())
+    return ast.Program(decls=decls)
+
+
+@dataclass
+class _State:
+    program: ast.Program
+    poly: dict[str, ast.ProcDecl]
+    instances: dict[tuple, ast.ProcDecl] = field(default_factory=dict)
+    new_map_decls: list[ast.MapDecl] = field(default_factory=list)
+
+    def instance_for(
+        self, func: str, map_args: list[ast.Expr], subst: dict[str, ast.Expr]
+    ) -> str:
+        template = self.poly[func]
+        resolved = [self.rewrite_expr(a, subst) for a in map_args]
+        key = (func, tuple(unparse_expr(a) for a in resolved))
+        found = self.instances.get(key)
+        if found is not None:
+            return found.name
+        if len(self.instances) >= _MAX_INSTANCES:
+            raise CompileError(
+                "too many mapping-polymorphism instances (recursive map "
+                "arguments?)"
+            )
+        if len(map_args) != len(template.map_params):
+            raise CompileError(
+                f"{func} expects {len(template.map_params)} map arguments"
+            )
+        index = len(self.instances) + 1
+        name = f"{func}__m{index}"
+        suffix = f"__m{index}"
+        # Reserve the slot first so recursive instances resolve to itself.
+        placeholder = ast.ProcDecl(name=name)
+        self.instances[key] = placeholder
+
+        bindings = dict(zip(template.map_params, resolved))
+        maps = {m.name: m.spec for m in self.program.maps}
+        renames: dict[str, str] = {}
+        for pname in [p.name for p in template.params]:
+            if pname in maps:
+                renames[pname] = pname + suffix
+        for stmt in ast.walk_stmts(template.body):
+            if isinstance(stmt, ast.LetStmt) and stmt.name in maps:
+                renames[stmt.name] = stmt.name + suffix
+
+        for old, new in renames.items():
+            spec = maps[old]
+            self.new_map_decls.append(
+                ast.MapDecl(name=new, spec=self._subst_spec(spec, bindings))
+            )
+
+        subst2: dict[str, ast.Expr] = dict(bindings)
+        body = [
+            self.rewrite_stmt(s, subst2, renames) for s in template.body
+        ]
+        placeholder.params = [
+            ast.Param(name=renames.get(p.name, p.name), type=p.type)
+            for p in template.params
+        ]
+        placeholder.returns = template.returns
+        placeholder.body = body
+        placeholder.map_params = []
+        return name
+
+    def _subst_spec(
+        self, spec: ast.MapSpec, bindings: dict[str, ast.Expr]
+    ) -> ast.MapSpec:
+        if isinstance(spec, ast.MapOnProc):
+            return ast.MapOnProc(proc=self.rewrite_expr(spec.proc, bindings))
+        if isinstance(spec, ast.MapOnAll):
+            return ast.MapOnAll()
+        if isinstance(spec, ast.MapBy):
+            return ast.MapBy(
+                dist=spec.dist,
+                args=[self.rewrite_expr(a, bindings) for a in spec.args],
+            )
+        raise CompileError(f"unknown map spec {spec!r}")
+
+    # -- AST rewriting (clone + substitute names) ---------------------------
+    def rewrite_expr(
+        self,
+        e: ast.Expr,
+        subst: dict[str, ast.Expr],
+        renames: dict[str, str] | None = None,
+    ) -> ast.Expr:
+        renames = renames or {}
+        if isinstance(e, ast.IntLit):
+            return ast.IntLit(value=e.value)
+        if isinstance(e, ast.RealLit):
+            return ast.RealLit(value=e.value)
+        if isinstance(e, ast.BoolLit):
+            return ast.BoolLit(value=e.value)
+        if isinstance(e, ast.Name):
+            if e.id in subst:
+                return self.rewrite_expr(subst[e.id], {})
+            return ast.Name(id=renames.get(e.id, e.id))
+        if isinstance(e, ast.Index):
+            return ast.Index(
+                array=renames.get(e.array, e.array),
+                indices=[self.rewrite_expr(i, subst, renames) for i in e.indices],
+            )
+        if isinstance(e, ast.AllocExpr):
+            return ast.AllocExpr(
+                kind=e.kind,
+                dims=[self.rewrite_expr(d, subst, renames) for d in e.dims],
+            )
+        if isinstance(e, ast.Unary):
+            return ast.Unary(op=e.op, operand=self.rewrite_expr(e.operand, subst, renames))
+        if isinstance(e, ast.Binary):
+            return ast.Binary(
+                op=e.op,
+                left=self.rewrite_expr(e.left, subst, renames),
+                right=self.rewrite_expr(e.right, subst, renames),
+            )
+        if isinstance(e, ast.CallExpr):
+            args = [self.rewrite_expr(a, subst, renames) for a in e.args]
+            if e.func in self.poly:
+                if not e.map_args:
+                    raise CompileError(
+                        f"call to {e.func} needs map arguments [..]"
+                    )
+                instance = self.instance_for(e.func, e.map_args, subst)
+                return ast.CallExpr(func=instance, args=args)
+            return ast.CallExpr(func=e.func, args=args)
+        raise CompileError(f"cannot rewrite expression {e!r}")
+
+    def rewrite_stmt(
+        self,
+        stmt: ast.Stmt,
+        subst: dict[str, ast.Expr],
+        renames: dict[str, str] | None = None,
+    ) -> ast.Stmt:
+        renames = renames or {}
+        if isinstance(stmt, ast.LetStmt):
+            return ast.LetStmt(
+                name=renames.get(stmt.name, stmt.name),
+                init=self.rewrite_expr(stmt.init, subst, renames),
+            )
+        if isinstance(stmt, ast.AssignStmt):
+            return ast.AssignStmt(
+                target=self.rewrite_expr(stmt.target, subst, renames),
+                value=self.rewrite_expr(stmt.value, subst, renames),
+            )
+        if isinstance(stmt, ast.ForStmt):
+            return ast.ForStmt(
+                var=stmt.var,
+                lo=self.rewrite_expr(stmt.lo, subst, renames),
+                hi=self.rewrite_expr(stmt.hi, subst, renames),
+                step=(
+                    None
+                    if stmt.step is None
+                    else self.rewrite_expr(stmt.step, subst, renames)
+                ),
+                body=[self.rewrite_stmt(s, subst, renames) for s in stmt.body],
+            )
+        if isinstance(stmt, ast.IfStmt):
+            return ast.IfStmt(
+                cond=self.rewrite_expr(stmt.cond, subst, renames),
+                then_body=[self.rewrite_stmt(s, subst, renames) for s in stmt.then_body],
+                else_body=[self.rewrite_stmt(s, subst, renames) for s in stmt.else_body],
+            )
+        if isinstance(stmt, ast.CallStmt):
+            args = [self.rewrite_expr(a, subst, renames) for a in stmt.args]
+            func = stmt.func
+            if func in self.poly:
+                if not stmt.map_args:
+                    raise CompileError(f"call to {func} needs map arguments [..]")
+                func = self.instance_for(func, stmt.map_args, subst)
+            return ast.CallStmt(func=func, args=args)
+        if isinstance(stmt, ast.ReturnStmt):
+            return ast.ReturnStmt(
+                value=(
+                    None
+                    if stmt.value is None
+                    else self.rewrite_expr(stmt.value, subst, renames)
+                )
+            )
+        raise CompileError(f"cannot rewrite statement {stmt!r}")
+
+
+def _clone_param(p: ast.Param) -> ast.Param:
+    return ast.Param(name=p.name, type=p.type)

@@ -1,0 +1,201 @@
+"""Per-processor specialization: partial evaluation over the rank.
+
+The paper's compiler emits distinct code per processor (Figure 4d shows
+P1/P2/P3 each running two lines). Our SPMD programs carry the rank
+symbolically; this pass plugs in a concrete rank (and optionally the ring
+size) and folds the residue: guards on ``p`` disappear, dead branches and
+empty loops vanish. Used both to display Figure-4d-style listings and to
+run simulations without per-element guard overhead.
+"""
+
+from __future__ import annotations
+
+from repro.spmd import ir
+from repro.spmd.ir import NBin, NCall, NConst, NMyNode, NNProcs, NUn, NVar
+
+
+def specialize_for_rank(
+    program: ir.NodeProgram, rank: int, nprocs: int | None = None
+) -> ir.NodeProgram:
+    """Partially evaluate ``program`` for one concrete processor."""
+    procs = {
+        name: ir.NodeProc(
+            name=proc.name,
+            params=list(proc.params),
+            array_params=set(proc.array_params),
+            body=_fold_body(proc.body, rank, nprocs),
+        )
+        for name, proc in program.procs.items()
+    }
+    suffix = f"@p{rank}" if nprocs is None else f"@p{rank}/S{nprocs}"
+    return ir.NodeProgram(
+        name=program.name + suffix, procs=procs, entry=program.entry
+    )
+
+
+def _fold_expr(e: ir.NExpr, rank: int, nprocs: int | None) -> ir.NExpr:
+    if isinstance(e, NMyNode):
+        return NConst(rank)
+    if isinstance(e, NNProcs):
+        return e if nprocs is None else NConst(nprocs)
+    if isinstance(e, NConst) or isinstance(e, NVar):
+        return e
+    if isinstance(e, NBin):
+        left = _fold_expr(e.left, rank, nprocs)
+        right = _fold_expr(e.right, rank, nprocs)
+        if isinstance(left, NConst) and isinstance(right, NConst):
+            folded = _apply(e.op, left.value, right.value)
+            if folded is not None:
+                return NConst(folded)
+        return NBin(e.op, left, right)
+    if isinstance(e, NUn):
+        operand = _fold_expr(e.operand, rank, nprocs)
+        if isinstance(operand, NConst):
+            return NConst(
+                (not operand.value) if e.op == "not" else -operand.value
+            )
+        return NUn(e.op, operand)
+    if isinstance(e, NCall):
+        args = tuple(_fold_expr(a, rank, nprocs) for a in e.args)
+        if all(isinstance(a, NConst) for a in args):
+            from repro.lang.builtins import apply_builtin, is_builtin
+
+            if is_builtin(e.func):
+                return NConst(apply_builtin(e.func, [a.value for a in args]))
+        return NCall(e.func, args)
+    if isinstance(e, ir.NIsRead):
+        return ir.NIsRead(
+            e.array, tuple(_fold_expr(i, rank, nprocs) for i in e.indices)
+        )
+    if isinstance(e, ir.NBufRead):
+        return ir.NBufRead(
+            e.buf, tuple(_fold_expr(i, rank, nprocs) for i in e.indices)
+        )
+    return e
+
+
+def _apply(op: str, left, right):
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "div":
+            return left // right
+        if op == "mod":
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+    except ZeroDivisionError:
+        return None
+    return None
+
+
+def _fold_lv(lv: ir.LValue, rank: int, nprocs: int | None) -> ir.LValue:
+    if isinstance(lv, ir.IsLV):
+        return ir.IsLV(lv.array, tuple(_fold_expr(i, rank, nprocs) for i in lv.indices))
+    if isinstance(lv, ir.BufLV):
+        return ir.BufLV(lv.buf, tuple(_fold_expr(i, rank, nprocs) for i in lv.indices))
+    return lv
+
+
+def _fold_body(body: list[ir.NStmt], rank: int, nprocs: int | None) -> list[ir.NStmt]:
+    out: list[ir.NStmt] = []
+    for stmt in body:
+        out.extend(_fold_stmt(stmt, rank, nprocs))
+    return out
+
+
+def _fold_stmt(stmt: ir.NStmt, rank: int, nprocs: int | None) -> list[ir.NStmt]:
+    fold = lambda e: _fold_expr(e, rank, nprocs)  # noqa: E731
+    if isinstance(stmt, ir.NIf):
+        cond = fold(stmt.cond)
+        if isinstance(cond, NConst):
+            branch = stmt.then_body if cond.value else stmt.else_body
+            return _fold_body(branch, rank, nprocs)
+        return [
+            ir.NIf(
+                cond,
+                _fold_body(stmt.then_body, rank, nprocs),
+                _fold_body(stmt.else_body, rank, nprocs),
+            )
+        ]
+    if isinstance(stmt, ir.NFor):
+        lo = fold(stmt.lo)
+        hi = fold(stmt.hi)
+        step = fold(stmt.step)
+        if (
+            isinstance(lo, NConst)
+            and isinstance(hi, NConst)
+            and lo.value > hi.value
+        ):
+            return []  # statically empty
+        return [ir.NFor(stmt.var, lo, hi, step, _fold_body(stmt.body, rank, nprocs))]
+    if isinstance(stmt, ir.NAssign):
+        return [ir.NAssign(_fold_lv(stmt.target, rank, nprocs), fold(stmt.value))]
+    if isinstance(stmt, ir.NAllocIs):
+        return [ir.NAllocIs(stmt.name, tuple(fold(d) for d in stmt.shape))]
+    if isinstance(stmt, ir.NAllocBuf):
+        return [ir.NAllocBuf(stmt.name, tuple(fold(d) for d in stmt.shape))]
+    if isinstance(stmt, ir.NSend):
+        return [ir.NSend(fold(stmt.dst), stmt.channel, tuple(fold(v) for v in stmt.values))]
+    if isinstance(stmt, ir.NRecv):
+        return [
+            ir.NRecv(
+                fold(stmt.src),
+                stmt.channel,
+                tuple(_fold_lv(t, rank, nprocs) for t in stmt.targets),
+            )
+        ]
+    if isinstance(stmt, ir.NSendVec):
+        return [ir.NSendVec(fold(stmt.dst), stmt.channel, stmt.buf, fold(stmt.lo), fold(stmt.hi))]
+    if isinstance(stmt, ir.NRecvVec):
+        return [ir.NRecvVec(fold(stmt.src), stmt.channel, stmt.buf, fold(stmt.lo), fold(stmt.hi))]
+    if isinstance(stmt, ir.NCoerce):
+        owner = fold(stmt.owner)
+        dest = fold(stmt.dest)
+        value = fold(stmt.value)
+        if isinstance(owner, NConst) and isinstance(dest, NConst):
+            # Fully resolved coerce: fold into its live halves (Figure 4d).
+            if owner.value == dest.value:
+                if rank == dest.value:
+                    return [ir.NAssign(stmt.target, value)]
+                return []
+            if rank == owner.value:
+                return [ir.NSend(dest, stmt.channel, (value,))]
+            if rank == dest.value:
+                return [ir.NRecv(owner, stmt.channel, (stmt.target,))]
+            return []
+        return [ir.NCoerce(stmt.target, value, owner, dest, stmt.channel)]
+    if isinstance(stmt, ir.NBroadcast):
+        return [ir.NBroadcast(stmt.target, fold(stmt.value), fold(stmt.owner), stmt.channel)]
+    if isinstance(stmt, ir.NCallProc):
+        return [
+            ir.NCallProc(
+                stmt.proc,
+                tuple(a if isinstance(a, str) else fold(a) for a in stmt.args),
+                result=stmt.result,
+                array_result=stmt.array_result,
+            )
+        ]
+    if isinstance(stmt, ir.NReturn):
+        if stmt.value is None or isinstance(stmt.value, str):
+            return [stmt]
+        return [ir.NReturn(fold(stmt.value))]
+    return [stmt]

@@ -1,0 +1,35 @@
+"""Message optimizations (paper §4, Appendix A).
+
+The three passes compose cumulatively, matching the paper's study:
+
+* Optimized I   = vectorize
+* Optimized II  = vectorize + jam
+* Optimized III = vectorize + jam + stripmine
+
+``optimize`` applies them according to the requested :class:`OptLevel`
+and validates the program after every pass.
+"""
+
+from __future__ import annotations
+
+from repro.spmd import ir, validate_program
+from repro.core.transforms.jam import jam
+from repro.core.transforms.stripmine import stripmine
+from repro.core.transforms.vectorize import vectorize
+
+__all__ = ["jam", "optimize", "stripmine", "vectorize"]
+
+
+def optimize(program: ir.NodeProgram, opt_level) -> ir.NodeProgram:
+    """Apply the passes up to ``opt_level`` (an OptLevel or int)."""
+    level = int(opt_level)
+    if level >= 1:
+        program = vectorize(program)
+        validate_program(program)
+    if level >= 2:
+        program = jam(program)
+        validate_program(program)
+    if level >= 3:
+        program = stripmine(program)
+        validate_program(program)
+    return program

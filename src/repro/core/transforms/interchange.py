@@ -1,0 +1,165 @@
+"""Loop interchange (paper §4).
+
+"If the sequential version of Gauss-Seidel had had the i and j-loops
+reversed then generated code would not have shown any parallelism, so
+loop interchange would be required." This pass aligns the order of the
+computation with the mapping of the data by swapping a perfect 2-nest,
+subject to a dependence-distance legality test.
+
+Operates on the *source* AST, before resolution: interchange is one of
+the standard transformations (Padua & Wolfe) that the paper layers under
+its code generator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.lang import ast
+from repro.symbolic import Const, Expr, simplify
+from repro.core.common import src_to_sym
+
+
+def interchange(program: ast.Program, proc_name: str) -> ast.Program:
+    """Swap the outermost perfect 2-nest of ``proc_name`` (new program).
+
+    Raises :class:`TransformError` when no such nest exists or the swap
+    cannot be proven legal.
+    """
+    decls: list[ast.Decl] = []
+    swapped = False
+    for decl in program.decls:
+        if isinstance(decl, ast.ProcDecl) and decl.name == proc_name:
+            body, did = _interchange_in_body(decl.body)
+            if did:
+                swapped = True
+            decls.append(
+                ast.ProcDecl(
+                    name=decl.name,
+                    params=list(decl.params),
+                    returns=decl.returns,
+                    body=body,
+                    map_params=list(decl.map_params),
+                )
+            )
+        else:
+            decls.append(decl)
+    if not swapped:
+        raise TransformError(
+            f"no interchangeable perfect 2-nest found in {proc_name!r}"
+        )
+    return ast.Program(decls=decls)
+
+
+def _interchange_in_body(body: list[ast.Stmt]) -> tuple[list[ast.Stmt], bool]:
+    out: list[ast.Stmt] = []
+    swapped = False
+    for stmt in body:
+        if not swapped and isinstance(stmt, ast.ForStmt):
+            candidate = _try_swap(stmt)
+            if candidate is not None:
+                out.append(candidate)
+                swapped = True
+                continue
+        out.append(stmt)
+    return out, swapped
+
+
+def _try_swap(outer: ast.ForStmt) -> ast.ForStmt | None:
+    if len(outer.body) != 1 or not isinstance(outer.body[0], ast.ForStmt):
+        return None
+    inner = outer.body[0]
+    if len(inner.body) != 1 or not isinstance(inner.body[0], ast.AssignStmt):
+        return None
+    assign = inner.body[0]
+    if not isinstance(assign.target, ast.Index):
+        return None
+    if outer.step is not None or inner.step is not None:
+        return None
+    # Rectangular bounds: neither loop's bounds mention the other variable.
+    for bound in (inner.lo, inner.hi):
+        if _mentions(bound, outer.var):
+            return None
+    for bound in (outer.lo, outer.hi):
+        if _mentions(bound, inner.var):
+            return None
+    if not _legal(assign, outer.var, inner.var):
+        return None
+    return ast.ForStmt(
+        var=inner.var,
+        lo=inner.lo,
+        hi=inner.hi,
+        step=None,
+        body=[
+            ast.ForStmt(
+                var=outer.var,
+                lo=outer.lo,
+                hi=outer.hi,
+                step=None,
+                body=[assign],
+            )
+        ],
+    )
+
+
+def _mentions(e: ast.Expr | None, var: str) -> bool:
+    if e is None:
+        return False
+    return any(
+        isinstance(node, ast.Name) and node.id == var for node in ast.walk_exprs(e)
+    )
+
+
+def _legal(assign: ast.AssignStmt, outer_var: str, inner_var: str) -> bool:
+    """All flow dependences must survive the swap lexicographically.
+
+    For each read of the written array, compute the iteration-space
+    distance vector (d_outer, d_inner): the element read at iteration v
+    was written at iteration v - d. Interchange is legal iff every
+    non-zero vector stays lexicographically positive after swapping its
+    components. Non-constant distances are inconclusive → illegal.
+    """
+    target = assign.target
+    assert isinstance(target, ast.Index)
+    t_syms = [src_to_sym(i, {}) for i in target.indices]
+    if any(t is None for t in t_syms):
+        return False
+
+    for node in ast.walk_exprs(assign.value):
+        if not isinstance(node, ast.Index) or node.array != target.array:
+            continue
+        o_syms = [src_to_sym(i, {}) for i in node.indices]
+        if any(o is None for o in o_syms):
+            return False
+        vector = _distance_vector(t_syms, o_syms, outer_var, inner_var)
+        if vector is None:
+            return False
+        d_outer, d_inner = vector
+        if (d_outer, d_inner) == (0, 0):
+            continue
+        # After the swap, the vector becomes (d_inner, d_outer).
+        if d_inner < 0 or (d_inner == 0 and d_outer < 0):
+            return False
+    return True
+
+
+def _distance_vector(
+    t_syms: list[Expr], o_syms: list[Expr], outer_var: str, inner_var: str
+) -> tuple[int, int] | None:
+    """Distance per loop variable, when each index dimension is that
+    variable plus a constant on both sides."""
+    d_outer = 0
+    d_inner = 0
+    for t, o in zip(t_syms, o_syms):
+        diff = simplify(t - o)
+        if not isinstance(diff, Const):
+            return None
+        if diff.value == 0:
+            continue
+        t_vars = t.free_vars()
+        if t_vars == {outer_var}:
+            d_outer += diff.value
+        elif t_vars == {inner_var}:
+            d_inner += diff.value
+        else:
+            return None
+    return d_outer, d_inner

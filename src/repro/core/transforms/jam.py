@@ -1,0 +1,155 @@
+"""Loop jamming — Optimized II (paper §4, Appendix A.3).
+
+Fuses a compute loop with the communication loop that follows it, so each
+freshly computed value is sent "as soon as it is computed" — this is what
+turns the column-serial compile-time code into a pipelined wavefront.
+
+Fusion of ``for v {A}; for v {B}`` (same header) is performed when every
+dependence between A and B is same-iteration: each read in B of an array
+or buffer written by A must use index expressions semantically equal to
+A's write indices. Guards around either loop are hoisted inside the fused
+loop, disjoined for the loop itself — correctness for boundary iterations
+where only one of the two nests is active (e.g. streaming the boundary
+column that ignites the wavefront).
+"""
+
+from __future__ import annotations
+
+from repro.spmd import ir
+from repro.core.transforms.util import (
+    guard_of,
+    headers_equal,
+    indices_equal,
+    map_proc_bodies,
+    or_conds,
+    reads_of,
+    reguard,
+    uses_var,
+    writes_of,
+)
+
+
+def jam(program: ir.NodeProgram) -> ir.NodeProgram:
+    """Apply Optimized II to every procedure."""
+    return map_proc_bodies(program, _jam_body)
+
+
+def _jam_body(body: list[ir.NStmt]) -> list[ir.NStmt]:
+    # Recurse first so inner lists are already jammed.
+    recursed: list[ir.NStmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.NFor):
+            recursed.append(
+                ir.NFor(stmt.var, stmt.lo, stmt.hi, stmt.step, _jam_body(stmt.body))
+            )
+        elif isinstance(stmt, ir.NIf):
+            recursed.append(
+                ir.NIf(stmt.cond, _jam_body(stmt.then_body), _jam_body(stmt.else_body))
+            )
+        else:
+            recursed.append(stmt)
+
+    changed = True
+    while changed:
+        changed = False
+        for k in range(len(recursed) - 1):
+            fused = _try_fuse(recursed[k], recursed[k + 1])
+            if fused is not None:
+                recursed[k : k + 2] = fused
+                changed = True
+                break
+    return recursed
+
+
+def _try_fuse(x: ir.NStmt, y: ir.NStmt) -> list[ir.NStmt] | None:
+    guard_x, body_x = guard_of(x)
+    guard_y, body_y = guard_of(y)
+    if len(body_y) != 1 or not isinstance(body_y[0], ir.NFor):
+        return None
+    if not body_x or not isinstance(body_x[-1], ir.NFor):
+        return None
+    loop_a: ir.NFor = body_x[-1]
+    loop_b: ir.NFor = body_y[0]
+    if not headers_equal(loop_a, loop_b):
+        return None
+    if guard_x is not None and uses_var(guard_x, loop_a.var):
+        return None
+    if guard_y is not None and uses_var(guard_y, loop_a.var):
+        return None
+    if not _fusable(loop_a.body, loop_b.body):
+        return None
+
+    inner = reguard(guard_x, loop_a.body) + reguard(guard_y, loop_b.body)
+    fused_loop = ir.NFor(loop_a.var, loop_a.lo, loop_a.hi, loop_a.step, inner)
+    prologue = reguard(guard_x, body_x[:-1])
+    return prologue + reguard(or_conds(guard_x, guard_y), [fused_loop])
+
+
+def _fusable(body_a: list[ir.NStmt], body_b: list[ir.NStmt]) -> bool:
+    """Every A↔B dependence must be same-iteration (equal indices)."""
+    writes_a_arr, writes_a_buf, writes_a_scalar = writes_of(body_a)
+    reads_a_arr, reads_a_buf = reads_of(body_a)
+    writes_b_arr, writes_b_buf, writes_b_scalar = writes_of(body_b)
+    reads_b_arr, reads_b_buf = reads_of(body_b)
+
+    def conflict(writes, reads) -> bool:
+        for wname, widx in writes:
+            for rname, ridx in reads:
+                if wname != rname:
+                    continue
+                if not widx or not ridx:
+                    return True  # unknown index set (call/vec op): refuse
+                if not indices_equal(widx, ridx):
+                    return True
+        return False
+
+    # Flow: B must read A's writes only at the same iteration's indices.
+    if conflict(writes_a_arr, reads_b_arr) or conflict(writes_a_buf, reads_b_buf):
+        return False
+    # Anti: B's writes must not clobber what later A iterations read.
+    if conflict(writes_b_arr, reads_a_arr) or conflict(writes_b_buf, reads_a_buf):
+        return False
+    # Output: same-name writes must be same-iteration.
+    if conflict(writes_b_arr, writes_a_arr) or conflict(writes_b_buf, writes_a_buf):
+        return False
+    # Scalar temporaries must stay private to their nest.
+    if writes_a_scalar & _scalar_reads(body_b):
+        return False
+    if writes_b_scalar & (_scalar_reads(body_a) | writes_a_scalar):
+        return False
+    return True
+
+
+def _scalar_reads(body: list[ir.NStmt]) -> set[str]:
+    names: set[str] = set()
+
+    def visit(e: ir.NExpr):
+        for node in ir.walk_exprs(e):
+            if isinstance(node, ir.NVar):
+                names.add(node.name)
+
+    for stmt in ir.walk_stmts(body):
+        if isinstance(stmt, ir.NAssign):
+            visit(stmt.value)
+            if isinstance(stmt.target, (ir.IsLV, ir.BufLV)):
+                for idx in stmt.target.indices:
+                    visit(idx)
+        elif isinstance(stmt, ir.NFor):
+            visit(stmt.lo)
+            visit(stmt.hi)
+            visit(stmt.step)
+        elif isinstance(stmt, ir.NIf):
+            visit(stmt.cond)
+        elif isinstance(stmt, ir.NSend):
+            visit(stmt.dst)
+            for v in stmt.values:
+                visit(v)
+        elif isinstance(stmt, ir.NRecv):
+            visit(stmt.src)
+        elif isinstance(stmt, (ir.NSendVec, ir.NRecvVec)):
+            visit(stmt.dst if isinstance(stmt, ir.NSendVec) else stmt.src)
+            visit(stmt.lo)
+            visit(stmt.hi)
+        elif isinstance(stmt, (ir.NCoerce, ir.NBroadcast)):
+            visit(stmt.value)
+    return names

@@ -1,0 +1,223 @@
+"""Strip mining with message blocking — Optimized III (§4, Appendix A.4).
+
+The jammed loop sends each new value in its own message; strip mining
+walks the loop in blocks of ``blksize``, receives a block of incoming
+values per step, computes the block, and sends the freshly computed
+values as one message — "the best trade-off between minimizing message
+traffic and exploiting parallelism".
+
+A loop is blocked when it contains scalar sends/receives whose peer
+expressions and guard chains are loop-invariant, and when *all* static
+sites of each affected channel live inside the loop (otherwise blocking
+one endpoint would break the message protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spmd import ir
+from repro.spmd.ir import BufLV, NBin, NCall, NConst, NVar, VarLV
+from repro.core.transforms.util import map_proc_bodies, uses_var
+
+_BLK = NVar("blksize")
+
+
+@dataclass
+class _Hoist:
+    """One communication operation lifted to block granularity."""
+
+    kind: str  # "send" | "recv"
+    channel: str
+    peer: ir.NExpr
+    guards: list[tuple[ir.NExpr, bool]]  # (condition, then-branch?)
+    buf: str
+
+
+def stripmine(program: ir.NodeProgram) -> ir.NodeProgram:
+    """Apply Optimized III to every procedure."""
+    all_channels = _channel_site_counts(program)
+    counter = [0]
+    return map_proc_bodies(
+        program, lambda body: _walk(body, all_channels, counter)
+    )
+
+
+def _channel_site_counts(program: ir.NodeProgram) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for proc in program.procs.values():
+        for stmt in ir.walk_stmts(proc.body):
+            if isinstance(stmt, (ir.NSend, ir.NRecv)):
+                counts[stmt.channel] = counts.get(stmt.channel, 0) + 1
+            elif isinstance(stmt, (ir.NSendVec, ir.NRecvVec, ir.NCoerce, ir.NBroadcast)):
+                counts[stmt.channel] = counts.get(stmt.channel, 0) + 100  # opaque
+    return counts
+
+
+def _walk(body: list[ir.NStmt], channels: dict[str, int], counter) -> list[ir.NStmt]:
+    out: list[ir.NStmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.NFor):
+            blocked = _try_block(stmt, channels, counter)
+            if blocked is not None:
+                out.extend(blocked)
+            else:
+                out.append(
+                    ir.NFor(
+                        stmt.var,
+                        stmt.lo,
+                        stmt.hi,
+                        stmt.step,
+                        _walk(stmt.body, channels, counter),
+                    )
+                )
+        elif isinstance(stmt, ir.NIf):
+            out.append(
+                ir.NIf(
+                    stmt.cond,
+                    _walk(stmt.then_body, channels, counter),
+                    _walk(stmt.else_body, channels, counter),
+                )
+            )
+        else:
+            out.append(stmt)
+    return out
+
+
+def _try_block(loop: ir.NFor, channels: dict[str, int], counter) -> list[ir.NStmt] | None:
+    if not (isinstance(loop.step, NConst) and loop.step.value == 1):
+        return None
+    var = loop.var
+
+    # Find the communication ops eligible for blocking.
+    local_sites: dict[str, int] = {}
+    for stmt in ir.walk_stmts(loop.body):
+        if isinstance(stmt, (ir.NSend, ir.NRecv)):
+            local_sites[stmt.channel] = local_sites.get(stmt.channel, 0) + 1
+
+    eligible = {
+        ch
+        for ch, n in local_sites.items()
+        if channels.get(ch, 0) == n  # every site of ch is inside this loop
+    }
+    if not eligible:
+        return None
+
+    counter[0] += 1
+    n = counter[0]
+    k = f"_k{n}"
+    ilo = f"_lo{n}"
+    ihi = f"_hi{n}"
+
+    hoists: list[_Hoist] = []
+    new_body = _extract(loop.body, var, [], eligible, hoists, ilo)
+    if new_body is None or not hoists:
+        return None
+
+    span = NBin("+", NBin("-", loop.hi, loop.lo), NConst(1))
+    nblocks = NBin("div", NBin("-", NBin("+", span, _BLK), NConst(1)), _BLK)
+    ilo_expr = NBin("+", loop.lo, NBin("*", NVar(k), _BLK))
+    ihi_expr = NCall(
+        "min", (NBin("-", NBin("+", NVar(ilo), _BLK), NConst(1)), loop.hi)
+    )
+    length = NBin("+", NBin("-", NVar(ihi), NVar(ilo)), NConst(1))
+
+    def guard_chain(h: _Hoist, op: ir.NStmt) -> ir.NStmt:
+        wrapped: list[ir.NStmt] = [op]
+        for cond, positive in reversed(h.guards):
+            if positive:
+                wrapped = [ir.NIf(cond, wrapped)]
+            else:
+                wrapped = [ir.NIf(ir.NUn("not", cond), wrapped)]
+        return wrapped[0]
+
+    block_body: list[ir.NStmt] = [
+        ir.NAssign(VarLV(ilo), ilo_expr),
+        ir.NAssign(VarLV(ihi), ihi_expr),
+    ]
+    for h in hoists:
+        block_body.append(ir.NAllocBuf(h.buf, (_BLK,)))
+    for h in hoists:
+        if h.kind == "recv":
+            block_body.append(
+                guard_chain(
+                    h, ir.NRecvVec(h.peer, h.channel, h.buf, NConst(1), length)
+                )
+            )
+    block_body.append(ir.NFor(var, NVar(ilo), NVar(ihi), NConst(1), new_body))
+    for h in hoists:
+        if h.kind == "send":
+            block_body.append(
+                guard_chain(
+                    h, ir.NSendVec(h.peer, h.channel, h.buf, NConst(1), length)
+                )
+            )
+
+    return [
+        ir.NFor(k, NConst(0), NBin("-", nblocks, NConst(1)), NConst(1), block_body)
+    ]
+
+
+def _extract(
+    body: list[ir.NStmt],
+    var: str,
+    guards: list[tuple[ir.NExpr, bool]],
+    eligible: set[str],
+    hoists: list[_Hoist],
+    ilo: str,
+) -> list[ir.NStmt] | None:
+    """Replace eligible scalar comm ops with block-buffer accesses.
+
+    Returns None when an eligible channel op cannot be hoisted (guard or
+    peer depends on the loop variable) — the whole loop is then skipped.
+    """
+    out: list[ir.NStmt] = []
+    slot = NBin("+", NBin("-", NVar(var), NVar(ilo)), NConst(1))
+    for stmt in body:
+        if isinstance(stmt, ir.NSend) and stmt.channel in eligible:
+            if uses_var(stmt.dst, var) or len(stmt.values) != 1:
+                return None
+            if any(uses_var(c, var) for c, _ in guards):
+                return None
+            buf = f"sblk_{stmt.channel}"
+            hoists.append(
+                _Hoist("send", stmt.channel, stmt.dst, list(guards), buf)
+            )
+            out.append(ir.NAssign(BufLV(buf, (slot,)), stmt.values[0]))
+        elif isinstance(stmt, ir.NRecv) and stmt.channel in eligible:
+            if uses_var(stmt.src, var) or len(stmt.targets) != 1:
+                return None
+            if any(uses_var(c, var) for c, _ in guards):
+                return None
+            buf = f"rblk_{stmt.channel}"
+            hoists.append(
+                _Hoist("recv", stmt.channel, stmt.src, list(guards), buf)
+            )
+            out.append(
+                ir.NAssign(stmt.targets[0], ir.NBufRead(buf, (slot,)))
+            )
+        elif isinstance(stmt, ir.NIf):
+            then_body = _extract(
+                stmt.then_body, var, guards + [(stmt.cond, True)], eligible,
+                hoists, ilo,
+            )
+            else_body = _extract(
+                stmt.else_body, var, guards + [(stmt.cond, False)], eligible,
+                hoists, ilo,
+            )
+            if then_body is None or else_body is None:
+                return None
+            out.append(ir.NIf(stmt.cond, then_body, else_body))
+        elif isinstance(stmt, ir.NFor):
+            # Comm inside a nested loop iterates more than once per outer
+            # iteration; blocking it here would break message pairing.
+            for sub in ir.walk_stmts(stmt.body):
+                if (
+                    isinstance(sub, (ir.NSend, ir.NRecv))
+                    and sub.channel in eligible
+                ):
+                    return None
+            out.append(stmt)
+        else:
+            out.append(stmt)
+    return out

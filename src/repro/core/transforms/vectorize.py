@@ -1,0 +1,268 @@
+"""Message vectorization — Optimized I (paper §4, Appendix A.2).
+
+Element-wise sends of values that "are not changed during the execution
+of the loop" are combined into one vector message per loop execution, and
+the matching element-wise receives are hoisted into one vector receive
+feeding a local buffer.
+
+A channel is vectorized only when
+
+* its single static send site is a loop whose body is just the send
+  (possibly under a loop-invariant guard),
+* its single static receive site sits in a loop with the same bounds,
+* the destination/source expressions do not depend on the loop variable,
+* the values sent read only arrays the enclosing procedure never writes
+  (the paper's "old values are not changed" condition).
+
+Anything else is left alone — exactly the conservative behaviour a real
+vectorizer exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spmd import ir
+from repro.spmd.ir import BufLV, NBin, NConst, NVar, VarLV
+from repro.core.transforms.util import (
+    map_proc_bodies,
+    sym_equal,
+    uses_var,
+    writes_of,
+)
+
+
+@dataclass
+class _SendSite:
+    loop: ir.NFor
+    guard: ir.NExpr | None  # loop-invariant guard inside the loop, if any
+    send: ir.NSend
+
+
+@dataclass
+class _RecvSite:
+    loop: ir.NFor
+    stmt: ir.NStmt  # the NRecv itself, or the NIf holding it (dynamic form)
+    recv: ir.NRecv
+    local_assign: ir.NAssign | None  # then-branch of the dynamic form
+
+
+def vectorize(program: ir.NodeProgram) -> ir.NodeProgram:
+    """Apply Optimized I to every procedure."""
+    return map_proc_bodies(program, _vectorize_body)
+
+
+def _vectorize_body(body: list[ir.NStmt]) -> list[ir.NStmt]:
+    written_arrays = {name for name, _ in writes_of(body)[0]}
+    sends: dict[str, list[_SendSite]] = {}
+    recvs: dict[str, list[_RecvSite]] = {}
+    _scan(body, sends, recvs)
+
+    approved: dict[str, tuple[_SendSite, _RecvSite]] = {}
+    for channel, send_sites in sends.items():
+        recv_sites = recvs.get(channel, [])
+        if len(send_sites) != 1 or len(recv_sites) != 1:
+            continue
+        send_site = send_sites[0]
+        recv_site = recv_sites[0]
+        if not _send_ok(send_site, written_arrays):
+            continue
+        if not _recv_ok(recv_site, send_site):
+            continue
+        approved[channel] = (send_site, recv_site)
+    if not approved:
+        return body
+    return _rewrite(body, approved)
+
+
+# -- site discovery -------------------------------------------------------
+
+
+def _scan(body, sends, recvs) -> None:
+    for stmt in body:
+        if isinstance(stmt, ir.NFor):
+            _scan_loop(stmt, sends, recvs)
+            _scan(stmt.body, sends, recvs)
+        elif isinstance(stmt, ir.NIf):
+            _scan(stmt.then_body, sends, recvs)
+            _scan(stmt.else_body, sends, recvs)
+
+
+def _scan_loop(loop: ir.NFor, sends, recvs) -> None:
+    # Send pattern: the loop body is exactly one send (maybe guarded).
+    if len(loop.body) == 1:
+        inner = loop.body[0]
+        if isinstance(inner, ir.NSend):
+            sends.setdefault(inner.channel, []).append(
+                _SendSite(loop=loop, guard=None, send=inner)
+            )
+        elif (
+            isinstance(inner, ir.NIf)
+            and not inner.else_body
+            and len(inner.then_body) == 1
+            and isinstance(inner.then_body[0], ir.NSend)
+            and not uses_var(inner.cond, loop.var)
+        ):
+            send = inner.then_body[0]
+            sends.setdefault(send.channel, []).append(
+                _SendSite(loop=loop, guard=inner.cond, send=send)
+            )
+    # Recv patterns: a direct child of the loop body.
+    for stmt in loop.body:
+        if isinstance(stmt, ir.NRecv) and len(stmt.targets) == 1:
+            recvs.setdefault(stmt.channel, []).append(
+                _RecvSite(loop=loop, stmt=stmt, recv=stmt, local_assign=None)
+            )
+        elif (
+            isinstance(stmt, ir.NIf)
+            and len(stmt.then_body) == 1
+            and isinstance(stmt.then_body[0], ir.NAssign)
+            and len(stmt.else_body) == 1
+            and isinstance(stmt.else_body[0], ir.NRecv)
+            and not uses_var(stmt.cond, loop.var)
+        ):
+            recv = stmt.else_body[0]
+            if len(recv.targets) == 1:
+                recvs.setdefault(recv.channel, []).append(
+                    _RecvSite(
+                        loop=loop,
+                        stmt=stmt,
+                        recv=recv,
+                        local_assign=stmt.then_body[0],
+                    )
+                )
+
+
+def _send_ok(site: _SendSite, written_arrays: set[str]) -> bool:
+    loop = site.loop
+    if not (isinstance(loop.step, NConst) and loop.step.value == 1):
+        return False
+    if uses_var(site.send.dst, loop.var):
+        return False
+    if len(site.send.values) != 1:
+        return False
+    for node in ir.walk_exprs(site.send.values[0]):
+        if isinstance(node, ir.NIsRead) and node.array in written_arrays:
+            return False  # "old values" only: never-modified arrays
+        if isinstance(node, ir.NBufRead):
+            return False
+    return True
+
+
+def _recv_ok(recv_site: _RecvSite, send_site: _SendSite) -> bool:
+    loop = recv_site.loop
+    if not (isinstance(loop.step, NConst) and loop.step.value == 1):
+        return False
+    if uses_var(recv_site.recv.src, loop.var):
+        return False
+    if not isinstance(recv_site.recv.targets[0], VarLV):
+        return False
+    # Same iteration space on both sides, so one vector message matches.
+    return (
+        sym_equal(loop.lo, send_site.loop.lo)
+        and sym_equal(loop.hi, send_site.loop.hi)
+    )
+
+
+# -- rewriting ---------------------------------------------------------------
+
+
+def _rewrite(body, approved) -> list[ir.NStmt]:
+    send_loops = {id(site.loop): (ch, site) for ch, (site, _) in approved.items()}
+    recv_loops: dict[int, list[tuple[str, _RecvSite]]] = {}
+    for ch, (_, rsite) in approved.items():
+        recv_loops.setdefault(id(rsite.loop), []).append((ch, rsite))
+    return _rewrite_body(body, send_loops, recv_loops)
+
+
+def _rewrite_body(body, send_loops, recv_loops) -> list[ir.NStmt]:
+    out: list[ir.NStmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.NFor) and id(stmt) in send_loops:
+            ch, site = send_loops[id(stmt)]
+            out.extend(_rewrite_send(ch, site))
+        elif isinstance(stmt, ir.NFor) and id(stmt) in recv_loops:
+            out.extend(_rewrite_recv_loop(stmt, recv_loops[id(stmt)],
+                                          send_loops, recv_loops))
+        elif isinstance(stmt, ir.NFor):
+            out.append(
+                ir.NFor(
+                    stmt.var,
+                    stmt.lo,
+                    stmt.hi,
+                    stmt.step,
+                    _rewrite_body(stmt.body, send_loops, recv_loops),
+                )
+            )
+        elif isinstance(stmt, ir.NIf):
+            out.append(
+                ir.NIf(
+                    stmt.cond,
+                    _rewrite_body(stmt.then_body, send_loops, recv_loops),
+                    _rewrite_body(stmt.else_body, send_loops, recv_loops),
+                )
+            )
+        else:
+            out.append(stmt)
+    return out
+
+
+def _rewrite_send(ch: str, site: _SendSite) -> list[ir.NStmt]:
+    loop = site.loop
+    buf = f"svec_{ch}"
+    fill = ir.NFor(
+        loop.var,
+        loop.lo,
+        loop.hi,
+        NConst(1),
+        [ir.NAssign(BufLV(buf, (NVar(loop.var),)), site.send.values[0])],
+    )
+    sendvec = ir.NSendVec(site.send.dst, ch, buf, loop.lo, loop.hi)
+    out: list[ir.NStmt] = [ir.NAllocBuf(buf, (loop.hi,)), fill, sendvec]
+    if site.guard is not None:
+        return [ir.NIf(site.guard, out)]
+    return out
+
+
+def _rewrite_recv_loop(
+    loop: ir.NFor, channels: list[tuple[str, _RecvSite]], send_loops, recv_loops
+) -> list[ir.NStmt]:
+    pre: list[ir.NStmt] = []
+    replacements: dict[int, ir.NStmt] = {}
+    for ch, site in channels:
+        buf = f"rvec_{ch}"
+        pre.append(ir.NAllocBuf(buf, (loop.hi,)))
+        recvvec = ir.NRecvVec(site.recv.src, ch, buf, loop.lo, loop.hi)
+        target = site.recv.targets[0]
+        assert isinstance(target, VarLV)
+        buffer_read = ir.NAssign(target, ir.NBufRead(buf, (NVar(loop.var),)))
+        if site.local_assign is None:
+            pre.append(recvvec)
+            replacements[id(site.stmt)] = buffer_read
+        else:
+            # Dynamic locality: fill the buffer locally when the operand
+            # turns out to live here (e.g. a one-processor ring).
+            cond = site.stmt.cond  # type: ignore[union-attr]
+            local_fill = ir.NFor(
+                loop.var,
+                loop.lo,
+                loop.hi,
+                NConst(1),
+                [
+                    ir.NAssign(
+                        BufLV(buf, (NVar(loop.var),)),
+                        site.local_assign.value,
+                    )
+                ],
+            )
+            pre.append(ir.NIf(cond, [local_fill], [recvvec]))
+            replacements[id(site.stmt)] = buffer_read
+
+    new_body: list[ir.NStmt] = []
+    for stmt in loop.body:
+        if id(stmt) in replacements:
+            new_body.append(replacements[id(stmt)])
+        else:
+            new_body.append(stmt)
+    new_body = _rewrite_body(new_body, send_loops, recv_loops)
+    return pre + [ir.NFor(loop.var, loop.lo, loop.hi, loop.step, new_body)]

@@ -1,0 +1,147 @@
+"""Placement and distribution base classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.symbolic import Expr, sym
+
+
+# ---------------------------------------------------------------------------
+# Scalar placements
+# ---------------------------------------------------------------------------
+
+
+class Placement:
+    """Where a scalar variable lives."""
+
+    def is_replicated(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OnProc(Placement):
+    """The scalar is owned by a single processor (``a:P1``).
+
+    ``proc`` is a symbolic expression so mapping-polymorphic procedures
+    (§5.1) can place arguments on a processor named by a map parameter.
+    """
+
+    proc: Expr
+
+    def __init__(self, proc: "Expr | int | str"):
+        object.__setattr__(self, "proc", sym(proc))
+
+    def is_replicated(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"proc({self.proc})"
+
+
+@dataclass(frozen=True)
+class OnAll(Placement):
+    """The scalar is replicated on every processor (``a:ALL``)."""
+
+    def is_replicated(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "all"
+
+
+# ---------------------------------------------------------------------------
+# Array distributions
+# ---------------------------------------------------------------------------
+
+
+class Distribution:
+    """The ``<map, local, alloc>`` triple for one array (paper §2.3).
+
+    Subclasses define the symbolic forms; the concrete helpers below
+    evaluate them, so the two can never disagree.
+    """
+
+    name = "<abstract>"
+    rank = 2  # number of indices the distribution expects
+
+    # -- symbolic forms (compile-time resolution) --------------------------
+    def owner_expr(
+        self, indices: tuple[Expr, ...], nprocs: Expr, shape: tuple[Expr, ...]
+    ) -> Expr:
+        """``map``: the owner processor of element ``indices``."""
+        raise NotImplementedError
+
+    def local_expr(
+        self, indices: tuple[Expr, ...], nprocs: Expr, shape: tuple[Expr, ...]
+    ) -> tuple[Expr, ...]:
+        """``local``: the element's indices within the owner's local array."""
+        raise NotImplementedError
+
+    def alloc_shape_expr(
+        self, shape: tuple[Expr, ...], nprocs: Expr
+    ) -> tuple[Expr, ...]:
+        """``alloc``: the local array shape each processor allocates."""
+        raise NotImplementedError
+
+    # -- concrete forms (run-time resolution / the runtime) -----------------
+    def _check_rank(self, indices: tuple) -> None:
+        if len(indices) != self.rank:
+            raise MappingError(
+                f"{self.name} expects {self.rank} indices, got {len(indices)}"
+            )
+
+    def owner(self, indices: tuple[int, ...], nprocs: int, shape: tuple[int, ...]) -> int:
+        self._check_rank(indices)
+        env = _env(indices, nprocs, shape)
+        expr = self.owner_expr(
+            _index_vars(self.rank), _NPROCS, _shape_vars(len(shape))
+        )
+        return expr.evaluate(env)
+
+    def local(
+        self, indices: tuple[int, ...], nprocs: int, shape: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        self._check_rank(indices)
+        env = _env(indices, nprocs, shape)
+        exprs = self.local_expr(
+            _index_vars(self.rank), _NPROCS, _shape_vars(len(shape))
+        )
+        return tuple(e.evaluate(env) for e in exprs)
+
+    def alloc_shape(self, shape: tuple[int, ...], nprocs: int) -> tuple[int, ...]:
+        env = _env((), nprocs, shape)
+        exprs = self.alloc_shape_expr(_shape_vars(len(shape)), _NPROCS)
+        return tuple(e.evaluate(env) for e in exprs)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Canonical symbolic names used when evaluating the symbolic forms
+# concretely. ``__i1``/``__i2`` are element indices, ``__n1``/``__n2`` the
+# global array extents, ``S`` the number of processors.
+_NPROCS = sym("S")
+
+
+def _index_vars(rank: int) -> tuple[Expr, ...]:
+    return tuple(sym(f"__i{k + 1}") for k in range(rank))
+
+
+def _shape_vars(rank: int) -> tuple[Expr, ...]:
+    return tuple(sym(f"__n{k + 1}") for k in range(rank))
+
+
+def _env(indices: tuple[int, ...], nprocs: int, shape: tuple[int, ...]) -> dict:
+    env = {"S": nprocs}
+    for k, idx in enumerate(indices):
+        env[f"__i{k + 1}"] = idx
+    for k, extent in enumerate(shape):
+        env[f"__n{k + 1}"] = extent
+    return env
+
+
+def ceil_div(a: Expr, b: Expr) -> Expr:
+    """``ceil(a / b)`` for positive b, as a symbolic expression."""
+    return (a + b - 1) // b

@@ -1,0 +1,246 @@
+"""Built-in distributions.
+
+All distributions map onto a ring of ``S`` processors numbered ``0..S-1``
+and use the source language's 1-based array indices. The paper's wrapped
+columns — "wrap the columns of the matrix around a ring like a dealer
+deals cards" — is :class:`WrappedCols`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.distrib.base import Distribution, ceil_div
+from repro.symbolic import Const, Expr
+
+
+class WrappedCols(Distribution):
+    """Cyclic (card-dealt) columns: column ``j`` lives on ``(j-1) mod S``.
+
+    The paper's ``Column = <col-map, col-local, col-alloc>`` with
+    ``col-map(i, j) = j mod s`` adjusted for 1-based indexing.
+    """
+
+    name = "wrapped_cols"
+    rank = 2
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return (j - 1) % nprocs
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return (i, (j - 1) // nprocs + 1)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        return (n1, ceil_div(n2, nprocs))
+
+
+class WrappedRows(Distribution):
+    """Cyclic rows: row ``i`` lives on ``(i-1) mod S``."""
+
+    name = "wrapped_rows"
+    rank = 2
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return (i - 1) % nprocs
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return ((i - 1) // nprocs + 1, j)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        return (ceil_div(n1, nprocs), n2)
+
+
+class BlockCols(Distribution):
+    """Contiguous column blocks of width ``ceil(N2/S)``."""
+
+    name = "block_cols"
+    rank = 2
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        n1, n2 = shape
+        width = ceil_div(n2, nprocs)
+        return (j - 1) // width
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        n1, n2 = shape
+        width = ceil_div(n2, nprocs)
+        return (i, (j - 1) % width + 1)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        return (n1, ceil_div(n2, nprocs))
+
+
+class BlockRows(Distribution):
+    """Contiguous row blocks of height ``ceil(N1/S)``."""
+
+    name = "block_rows"
+    rank = 2
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        n1, n2 = shape
+        height = ceil_div(n1, nprocs)
+        return (i - 1) // height
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        n1, n2 = shape
+        height = ceil_div(n1, nprocs)
+        return ((i - 1) % height + 1, j)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        return (ceil_div(n1, nprocs), n2)
+
+
+class BlockCyclicCols(Distribution):
+    """Column blocks of a fixed width ``b``, dealt cyclically."""
+
+    name = "block_cyclic_cols"
+    rank = 2
+
+    def __init__(self, block: int):
+        if block < 1:
+            raise MappingError(f"block width must be positive, got {block}")
+        self.block = block
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return ((j - 1) // Const(self.block)) % nprocs
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        b = Const(self.block)
+        local_col = ((j - 1) // (b * nprocs)) * b + (j - 1) % b + 1
+        return (i, local_col)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        b = Const(self.block)
+        # Blocks dealt to one processor: ceil(nblocks / S) of width b.
+        nblocks = ceil_div(n2, b)
+        return (n1, ceil_div(nblocks, nprocs) * b)
+
+    def __str__(self) -> str:
+        return f"block_cyclic_cols({self.block})"
+
+
+class WrappedVector(Distribution):
+    """Cyclic elements of a vector: element ``i`` on ``(i-1) mod S``."""
+
+    name = "wrapped"
+    rank = 1
+
+    def owner_expr(self, indices, nprocs, shape):
+        (i,) = indices
+        return (i - 1) % nprocs
+
+    def local_expr(self, indices, nprocs, shape):
+        (i,) = indices
+        return ((i - 1) // nprocs + 1,)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        (n,) = shape
+        return (ceil_div(n, nprocs),)
+
+
+class BlockVector(Distribution):
+    """Contiguous vector blocks of length ``ceil(N/S)``."""
+
+    name = "block"
+    rank = 1
+
+    def owner_expr(self, indices, nprocs, shape):
+        (i,) = indices
+        (n,) = shape
+        width = ceil_div(n, nprocs)
+        return (i - 1) // width
+
+    def local_expr(self, indices, nprocs, shape):
+        (i,) = indices
+        (n,) = shape
+        width = ceil_div(n, nprocs)
+        return ((i - 1) % width + 1,)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        (n,) = shape
+        return (ceil_div(n, nprocs),)
+
+
+class BlockGrid(Distribution):
+    """2-D blocks on a Q x (S div Q) processor grid, linearized onto the
+    ring: element (i, j) lives on ``rowblock * (S div Q) + colblock``.
+
+    ``q`` is the number of processor rows; S must be a multiple of q at
+    run time. The owner expression mixes two floor divisions, which is
+    beyond the loop-bound solver — this distribution deliberately
+    exercises the compiler's inconclusive fallback path.
+    """
+
+    name = "block_grid"
+    rank = 2
+
+    def __init__(self, q: int):
+        if q < 1:
+            raise MappingError(f"grid rows must be positive, got {q}")
+        self.q = q
+
+    def _dims(self, nprocs, shape):
+        n1, n2 = shape
+        q = Const(self.q)
+        cols = nprocs // q  # processor columns
+        return q, cols, ceil_div(n1, q), ceil_div(n2, cols)
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        q, cols, bh, bw = self._dims(nprocs, shape)
+        return ((i - 1) // bh) * cols + (j - 1) // bw
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        q, cols, bh, bw = self._dims(nprocs, shape)
+        return ((i - 1) % bh + 1, (j - 1) % bw + 1)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        q = Const(self.q)
+        cols = nprocs // q
+        return (ceil_div(n1, q), ceil_div(n2, cols))
+
+    def __str__(self) -> str:
+        return f"block_grid({self.q})"
+
+
+# Registry used by ``map A by <name>`` declarations.
+DISTRIBUTIONS: dict[str, type] = {
+    "wrapped_cols": WrappedCols,
+    "wrapped_rows": WrappedRows,
+    "block_cols": BlockCols,
+    "block_rows": BlockRows,
+    "block_cyclic_cols": BlockCyclicCols,
+    "block_grid": BlockGrid,
+    "wrapped": WrappedVector,
+    "block": BlockVector,
+}
+
+
+def distribution_by_name(name: str, args: list[int]) -> Distribution:
+    """Instantiate a registered distribution from a ``map ... by`` clause."""
+    cls = DISTRIBUTIONS.get(name)
+    if cls is None:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise MappingError(f"unknown distribution {name!r} (known: {known})")
+    try:
+        return cls(*args)
+    except TypeError:
+        raise MappingError(
+            f"wrong arguments for distribution {name!r}: {args!r}"
+        ) from None

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the phase that failed (parsing, checking, compiling,
+simulating, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error tied to a position in source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(SourceError):
+    """The parser met an unexpected token."""
+
+
+class CheckError(SourceError):
+    """Semantic analysis failed (unknown name, type mismatch, arity...)."""
+
+
+class MappingError(ReproError):
+    """A domain-decomposition specification is malformed or inconsistent."""
+
+
+class CompileError(ReproError):
+    """Process decomposition (either resolution strategy) failed."""
+
+
+class TransformError(ReproError):
+    """An optimization pass was applied to a shape it cannot handle."""
+
+
+class IRError(ReproError):
+    """An SPMD IR fragment is structurally invalid."""
+
+
+class InterpError(ReproError):
+    """The sequential reference interpreter hit a dynamic error."""
+
+
+class IStructureError(ReproError):
+    """I-structure semantics violated (double write or undefined read)."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator hit an illegal condition."""
+
+
+class DeadlockError(SimulationError):
+    """All live simulated processes are blocked on receives."""
+
+    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+        self.blocked = dict(blocked or {})
+        super().__init__(message)
+
+
+class NodeRuntimeError(SimulationError):
+    """A node program raised a dynamic error while executing."""
+
+    def __init__(self, message: str, proc: int | None = None):
+        self.proc = proc
+        if proc is not None:
+            message = f"[proc {proc}] {message}"
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """The symbolic solver cannot make progress (inconclusive analysis)."""

@@ -1,0 +1,24 @@
+"""The mini-Id source language.
+
+A small first-order language modelled on the Id Nouveau subset the paper's
+examples use (Figures 1 and 4): procedures, ``let``, ``for``, ``if``,
+scalars, and I-structure matrices/vectors, plus ``map`` declarations that
+attach the domain decomposition to variables. The package provides a
+lexer, parser, semantic checker, un-parser, and a sequential reference
+interpreter that serves as the correctness oracle for all generated code.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.interp import run_sequential
+from repro.lang.parser import parse_program
+from repro.lang.pretty import unparse
+from repro.lang.typecheck import CheckedProgram, check_program
+
+__all__ = [
+    "CheckedProgram",
+    "Program",
+    "check_program",
+    "parse_program",
+    "run_sequential",
+    "unparse",
+]

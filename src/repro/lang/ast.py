@@ -1,0 +1,334 @@
+"""Abstract syntax trees for mini-Id.
+
+Every node carries a source position and a unique ``uid``. The uid is how
+later phases attach information to nodes (types, evaluators/participants,
+communication channel names) without mutating the tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+    uid: int = field(default_factory=_next_uid, kw_only=True, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class Type(Enum):
+    INT = "int"
+    REAL = "real"
+    BOOL = "bool"
+    MATRIX = "matrix"
+    VECTOR = "vector"
+    VOID = "void"
+
+    def is_scalar(self) -> bool:
+        return self in (Type.INT, Type.REAL, Type.BOOL)
+
+    def is_array(self) -> bool:
+        return self in (Type.MATRIX, Type.VECTOR)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class RealLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Name(Expr):
+    id: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """An I-structure element read: ``A[i]`` or ``A[i, j]``."""
+
+    array: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CallExpr(Expr):
+    """A call in expression position: builtins or user procedures.
+
+    ``map_args`` instantiates a mapping-polymorphic callee (§5.1):
+    ``f[2](b)`` calls the instance of ``f`` whose map parameter is
+    processor 2.
+    """
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+    map_args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AllocExpr(Expr):
+    """``matrix(e1, e2)`` or ``vector(e)`` — I-structure allocation."""
+
+    kind: Type = Type.MATRIX  # MATRIX or VECTOR
+    dims: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = "-"  # "-" or "not"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = "+"  # + - * / div mod == != < <= > >= and or
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+LOGICAL_OPS = {"and", "or"}
+ARITH_OPS = {"+", "-", "*", "/", "div", "mod"}
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class LetStmt(Stmt):
+    """``let x = e;`` — introduces a new local binding."""
+
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``x = e;`` or ``A[i, j] = e;``"""
+
+    target: Name | Index | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for v = lo to hi [by step] { body }`` (bounds inclusive)."""
+
+    var: str = ""
+    lo: Expr | None = None
+    hi: Expr | None = None
+    step: Expr | None = None  # None means 1
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CallStmt(Stmt):
+    """``call p(args);`` — a procedure call for its effects."""
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+    map_args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Mapping specifications (the italicized annotations of Figure 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MapSpec(Node):
+    pass
+
+
+@dataclass
+class MapOnProc(MapSpec):
+    """``map a on proc(e);`` — the scalar lives on one processor."""
+
+    proc: Expr | None = None
+
+
+@dataclass
+class MapOnAll(MapSpec):
+    """``map a on all;`` — replicated on every processor (the ALL map)."""
+
+
+@dataclass
+class MapBy(MapSpec):
+    """``map A by wrapped_cols;`` — a named array distribution."""
+
+    dist: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class ConstDecl(Decl):
+    """``const N = 128;`` — a compile-time constant."""
+
+    name: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class ParamDecl(Decl):
+    """``param N;`` — a run-time problem parameter (replicated)."""
+
+    name: str = ""
+
+
+@dataclass
+class MapDecl(Decl):
+    name: str = ""
+    spec: MapSpec | None = None
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Type = Type.INT
+
+
+@dataclass
+class ProcDecl(Decl):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    returns: Type = Type.VOID
+    body: list[Stmt] = field(default_factory=list)
+    # Optional mapping-polymorphism parameters (§5.1): names usable in
+    # this procedure's map annotations, bound per call site.
+    map_params: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    decls: list[Decl] = field(default_factory=list)
+
+    @property
+    def procedures(self) -> list[ProcDecl]:
+        return [d for d in self.decls if isinstance(d, ProcDecl)]
+
+    @property
+    def consts(self) -> list[ConstDecl]:
+        return [d for d in self.decls if isinstance(d, ConstDecl)]
+
+    @property
+    def params(self) -> list[ParamDecl]:
+        return [d for d in self.decls if isinstance(d, ParamDecl)]
+
+    @property
+    def maps(self) -> list[MapDecl]:
+        return [d for d in self.decls if isinstance(d, MapDecl)]
+
+
+def walk_stmts(body: list[Stmt]):
+    """Yield every statement in a body, depth-first."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ForStmt):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+
+
+def walk_exprs(e: Expr | None):
+    """Yield every expression node under ``e``, depth-first."""
+    if e is None:
+        return
+    yield e
+    if isinstance(e, Index):
+        for sub in e.indices:
+            yield from walk_exprs(sub)
+    elif isinstance(e, (CallExpr,)):
+        for sub in e.args:
+            yield from walk_exprs(sub)
+    elif isinstance(e, AllocExpr):
+        for sub in e.dims:
+            yield from walk_exprs(sub)
+    elif isinstance(e, Unary):
+        yield from walk_exprs(e.operand)
+    elif isinstance(e, Binary):
+        yield from walk_exprs(e.left)
+        yield from walk_exprs(e.right)
+
+
+def stmt_exprs(stmt: Stmt):
+    """Yield the top-level expressions a statement contains directly."""
+    if isinstance(stmt, LetStmt):
+        yield stmt.init
+    elif isinstance(stmt, AssignStmt):
+        if isinstance(stmt.target, Index):
+            yield from stmt.target.indices
+        yield stmt.value
+    elif isinstance(stmt, ForStmt):
+        yield stmt.lo
+        yield stmt.hi
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, IfStmt):
+        yield stmt.cond
+    elif isinstance(stmt, CallStmt):
+        yield from stmt.args
+    elif isinstance(stmt, ReturnStmt):
+        if stmt.value is not None:
+            yield stmt.value

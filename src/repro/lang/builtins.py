@@ -1,0 +1,41 @@
+"""Builtin functions available in mini-Id expressions.
+
+These are pure scalar functions; they exist on every processor, so they
+never affect process decomposition (their evaluators are wherever their
+result is needed).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Type
+
+# name -> (arity, result type given argument types)
+_BUILTINS: dict[str, int] = {
+    "min": 2,
+    "max": 2,
+    "abs": 1,
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in _BUILTINS
+
+
+def builtin_arity(name: str) -> int:
+    return _BUILTINS[name]
+
+
+def builtin_result_type(name: str, arg_types: list[Type]) -> Type:
+    if any(t is Type.REAL for t in arg_types):
+        return Type.REAL
+    return Type.INT
+
+
+def apply_builtin(name: str, args: list):
+    if name == "min":
+        return min(args[0], args[1])
+    if name == "max":
+        return max(args[0], args[1])
+    if name == "abs":
+        return abs(args[0])
+    raise KeyError(name)

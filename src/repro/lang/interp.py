@@ -1,0 +1,235 @@
+"""Sequential reference interpreter for mini-Id.
+
+This executes the *source* program with ordinary sequential semantics and
+serves as the correctness oracle: every compiled SPMD configuration must
+produce the same observable results (returned values, I-structure
+contents) as this interpreter on the same input.
+
+It also counts scalar operations, which gives the single-processor compute
+baseline used when reporting simulated speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterpError
+from repro.lang import ast
+from repro.lang.ast import Type
+from repro.lang.builtins import apply_builtin, is_builtin
+from repro.lang.typecheck import CheckedProgram
+from repro.runtime.istructure import IStructure
+
+# Each mini-Id frame costs several Python frames; keep well under
+# Python's own recursion limit so we fail with a clear InterpError.
+_MAX_CALL_DEPTH = 64
+
+
+@dataclass
+class SeqResult:
+    """Outcome of a sequential run."""
+
+    value: object
+    op_count: int
+    istructures: dict[str, IStructure] = field(default_factory=dict)
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Frame:
+    __slots__ = ("vars",)
+
+    def __init__(self, vars_: dict | None = None):
+        self.vars: dict[str, object] = dict(vars_ or {})
+
+
+class _Interp:
+    def __init__(self, checked: CheckedProgram, params: dict[str, int]):
+        self.checked = checked
+        self.globals: dict[str, object] = dict(checked.consts)
+        for name in checked.params:
+            if name not in params:
+                raise InterpError(f"missing value for param {name!r}")
+            self.globals[name] = params[name]
+        for name in params:
+            if name not in checked.params:
+                raise InterpError(f"unknown param {name!r}")
+        self.op_count = 0
+        self.alloc_counter = 0
+        self.depth = 0
+
+    # -- procedure calls ----------------------------------------------------
+    def call(
+        self, name: str, args: list[object], map_args: list[object] | None = None
+    ) -> object:
+        proc = self.checked.proc(name)
+        if len(args) != len(proc.params):
+            raise InterpError(f"{name} expects {len(proc.params)} arguments")
+        map_args = map_args or []
+        if len(map_args) != len(proc.map_params):
+            raise InterpError(
+                f"{name} expects {len(proc.map_params)} map arguments"
+            )
+        self.depth += 1
+        if self.depth > _MAX_CALL_DEPTH:
+            raise InterpError(f"call depth exceeded in {name}")
+        frame = _Frame({p.name: a for p, a in zip(proc.params, args)})
+        # Map parameters are ordinary integers to sequential semantics.
+        frame.vars.update(dict(zip(proc.map_params, map_args)))
+        try:
+            self.exec_body(proc.body, frame)
+            result = None
+        except _Return as ret:
+            result = ret.value
+        finally:
+            self.depth -= 1
+        if proc.returns is not Type.VOID and result is None:
+            raise InterpError(f"{name} fell off the end without returning")
+        return result
+
+    # -- statements ----------------------------------------------------------
+    def exec_body(self, body: list[ast.Stmt], frame: _Frame) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, frame)
+
+    def exec_stmt(self, stmt: ast.Stmt, frame: _Frame) -> None:
+        if isinstance(stmt, ast.LetStmt):
+            frame.vars[stmt.name] = self.eval(stmt.init, frame)
+        elif isinstance(stmt, ast.AssignStmt):
+            value = self.eval(stmt.value, frame)
+            if isinstance(stmt.target, ast.Name):
+                frame.vars[stmt.target.id] = value
+            else:
+                array = self.lookup(stmt.target.array, frame, stmt)
+                indices = [self.eval(i, frame) for i in stmt.target.indices]
+                if not isinstance(array, IStructure):
+                    raise InterpError(
+                        f"{stmt.target.array!r} is not an I-structure"
+                    )
+                array.write(*indices, value)
+        elif isinstance(stmt, ast.ForStmt):
+            lo = self.eval(stmt.lo, frame)
+            hi = self.eval(stmt.hi, frame)
+            step = 1 if stmt.step is None else self.eval(stmt.step, frame)
+            if step <= 0:
+                raise InterpError(
+                    f"non-positive loop step {step}",
+                )
+            for v in range(lo, hi + 1, step):
+                frame.vars[stmt.var] = v
+                self.exec_body(stmt.body, frame)
+        elif isinstance(stmt, ast.IfStmt):
+            if self.eval(stmt.cond, frame):
+                self.exec_body(stmt.then_body, frame)
+            else:
+                self.exec_body(stmt.else_body, frame)
+        elif isinstance(stmt, ast.CallStmt):
+            args = [self.eval(a, frame) for a in stmt.args]
+            map_args = [self.eval(m, frame) for m in stmt.map_args]
+            self.call(stmt.func, args, map_args)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = None if stmt.value is None else self.eval(stmt.value, frame)
+            raise _Return(value)
+        else:
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    # -- expressions -----------------------------------------------------------
+    def lookup(self, name: str, frame: _Frame, node: ast.Node) -> object:
+        if name in frame.vars:
+            return frame.vars[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise InterpError(f"unbound variable {name!r} at line {node.line}")
+
+    def eval(self, e: ast.Expr, frame: _Frame) -> object:
+        if isinstance(e, ast.IntLit):
+            return e.value
+        if isinstance(e, ast.RealLit):
+            return e.value
+        if isinstance(e, ast.BoolLit):
+            return e.value
+        if isinstance(e, ast.Name):
+            return self.lookup(e.id, frame, e)
+        if isinstance(e, ast.Index):
+            array = self.lookup(e.array, frame, e)
+            indices = [self.eval(i, frame) for i in e.indices]
+            if not isinstance(array, IStructure):
+                raise InterpError(f"{e.array!r} is not an I-structure")
+            self.op_count += 1
+            return array.read(*indices)
+        if isinstance(e, ast.AllocExpr):
+            dims = tuple(self.eval(d, frame) for d in e.dims)
+            self.alloc_counter += 1
+            return IStructure(dims, name=f"alloc{self.alloc_counter}")
+        if isinstance(e, ast.CallExpr):
+            args = [self.eval(a, frame) for a in e.args]
+            if is_builtin(e.func):
+                self.op_count += 1
+                return apply_builtin(e.func, args)
+            map_args = [self.eval(m, frame) for m in e.map_args]
+            return self.call(e.func, args, map_args)
+        if isinstance(e, ast.Unary):
+            value = self.eval(e.operand, frame)
+            self.op_count += 1
+            return (not value) if e.op == "not" else -value
+        if isinstance(e, ast.Binary):
+            left = self.eval(e.left, frame)
+            if e.op == "and":
+                return bool(left) and bool(self.eval(e.right, frame))
+            if e.op == "or":
+                return bool(left) or bool(self.eval(e.right, frame))
+            right = self.eval(e.right, frame)
+            self.op_count += 1
+            return _apply_binary(e.op, left, right)
+        raise InterpError(f"unknown expression {e!r}")
+
+
+def _apply_binary(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "div":
+        if right == 0:
+            raise InterpError("division by zero")
+        return left // right
+    if op == "mod":
+        if right == 0:
+            raise InterpError("modulo by zero")
+        return left % right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise InterpError(f"unknown operator {op!r}")
+
+
+def run_sequential(
+    checked: CheckedProgram,
+    entry: str,
+    args: list[object] | None = None,
+    params: dict[str, int] | None = None,
+) -> SeqResult:
+    """Run ``entry`` sequentially and return its result and op count.
+
+    ``args`` may contain Python numbers and :class:`IStructure` values;
+    ``params`` binds every ``param`` declaration in the program.
+    """
+    interp = _Interp(checked, params or {})
+    value = interp.call(entry, list(args or []))
+    return SeqResult(value=value, op_count=interp.op_count)

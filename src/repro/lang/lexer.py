@@ -1,0 +1,117 @@
+"""Hand-written lexer for mini-Id.
+
+Comments run from ``--`` to end of line. Numbers are decimal integers or
+reals (``12``, ``0.25``). The only multi-character operators are ``==``,
+``!=``, ``<=``, ``>=``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    "+": TokenKind.PLUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on illegal input."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def push(kind: TokenKind, text: str, at_line: int, at_col: int) -> None:
+        tokens.append(Token(kind, text, at_line, at_col))
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "-" and i + 1 < n and source[i + 1] == "-":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                push(TokenKind.REAL, source[i:j], start_line, start_col)
+            else:
+                push(TokenKind.INT, source[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = KEYWORDS.get(text, TokenKind.NAME)
+            push(kind, text, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two == "==":
+            push(TokenKind.EQ, two, start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if two == "!=":
+            push(TokenKind.NE, two, start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if two == "<=":
+            push(TokenKind.LE, two, start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if two == ">=":
+            push(TokenKind.GE, two, start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if ch == "<":
+            push(TokenKind.LT, ch, start_line, start_col)
+        elif ch == ">":
+            push(TokenKind.GT, ch, start_line, start_col)
+        elif ch == "=":
+            push(TokenKind.ASSIGN, ch, start_line, start_col)
+        elif ch == "-":
+            push(TokenKind.MINUS, ch, start_line, start_col)
+        elif ch in _SINGLE:
+            push(_SINGLE[ch], ch, start_line, start_col)
+        else:
+            raise LexError(f"illegal character {ch!r}", start_line, start_col)
+        i += 1
+        col += 1
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

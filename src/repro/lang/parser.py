@@ -1,0 +1,434 @@
+"""Recursive-descent parser for mini-Id."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind as T
+
+_TYPE_TOKENS = {
+    T.KW_INT: ast.Type.INT,
+    T.KW_REAL: ast.Type.REAL,
+    T.KW_BOOL: ast.Type.BOOL,
+    T.KW_MATRIX: ast.Type.MATRIX,
+    T.KW_VECTOR: ast.Type.VECTOR,
+}
+
+_CMP_TOKENS = {
+    T.EQ: "==",
+    T.NE: "!=",
+    T.LE: "<=",
+    T.LT: "<",
+    T.GE: ">=",
+    T.GT: ">",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, kind: T) -> bool:
+        return self.peek().kind is kind
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: T, what: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            wanted = what or kind.name
+            raise ParseError(
+                f"expected {wanted}, found {tok.text!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def accept(self, kind: T) -> Token | None:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    # -- program and declarations -------------------------------------------
+    def program(self) -> ast.Program:
+        start = self.peek()
+        decls: list[ast.Decl] = []
+        while not self.at(T.EOF):
+            decls.append(self.decl())
+        return ast.Program(decls=decls, line=start.line, col=start.column)
+
+    def decl(self) -> ast.Decl:
+        tok = self.peek()
+        if tok.kind is T.KW_CONST:
+            return self.const_decl()
+        if tok.kind is T.KW_PARAM:
+            return self.param_decl()
+        if tok.kind is T.KW_MAP:
+            return self.map_decl()
+        if tok.kind is T.KW_PROCEDURE:
+            return self.proc_decl()
+        raise ParseError(
+            f"expected a declaration, found {tok.text!r}", tok.line, tok.column
+        )
+
+    def const_decl(self) -> ast.ConstDecl:
+        tok = self.expect(T.KW_CONST)
+        name = self.expect(T.NAME).text
+        self.expect(T.ASSIGN, "'='")
+        value = self.expr()
+        self.expect(T.SEMI, "';'")
+        return ast.ConstDecl(name=name, value=value, line=tok.line, col=tok.column)
+
+    def param_decl(self) -> ast.ParamDecl:
+        tok = self.expect(T.KW_PARAM)
+        name = self.expect(T.NAME).text
+        self.expect(T.SEMI, "';'")
+        return ast.ParamDecl(name=name, line=tok.line, col=tok.column)
+
+    def map_decl(self) -> ast.MapDecl:
+        tok = self.expect(T.KW_MAP)
+        name = self.expect(T.NAME).text
+        spec: ast.MapSpec
+        if self.accept(T.KW_ON):
+            if self.accept(T.KW_ALL):
+                spec = ast.MapOnAll(line=tok.line, col=tok.column)
+            else:
+                self.expect(T.KW_PROC, "'proc' or 'all'")
+                self.expect(T.LPAREN, "'('")
+                proc = self.expr()
+                self.expect(T.RPAREN, "')'")
+                spec = ast.MapOnProc(proc=proc, line=tok.line, col=tok.column)
+        else:
+            self.expect(T.KW_BY, "'on' or 'by'")
+            dist = self.expect(T.NAME).text
+            args: list[ast.Expr] = []
+            if self.accept(T.LPAREN):
+                args = self.expr_list(T.RPAREN)
+                self.expect(T.RPAREN, "')'")
+            spec = ast.MapBy(dist=dist, args=args, line=tok.line, col=tok.column)
+        self.expect(T.SEMI, "';'")
+        return ast.MapDecl(name=name, spec=spec, line=tok.line, col=tok.column)
+
+    def proc_decl(self) -> ast.ProcDecl:
+        tok = self.expect(T.KW_PROCEDURE)
+        name = self.expect(T.NAME).text
+        map_params: list[str] = []
+        if self.accept(T.LBRACKET):
+            map_params.append(self.expect(T.NAME).text)
+            while self.accept(T.COMMA):
+                map_params.append(self.expect(T.NAME).text)
+            self.expect(T.RBRACKET, "']'")
+        self.expect(T.LPAREN, "'('")
+        params: list[ast.Param] = []
+        if not self.at(T.RPAREN):
+            params.append(self.param())
+            while self.accept(T.COMMA):
+                params.append(self.param())
+        self.expect(T.RPAREN, "')'")
+        returns = ast.Type.VOID
+        if self.accept(T.KW_RETURNS):
+            returns = self.type_name()
+        body = self.block()
+        return ast.ProcDecl(
+            name=name,
+            params=params,
+            returns=returns,
+            body=body,
+            map_params=map_params,
+            line=tok.line,
+            col=tok.column,
+        )
+
+    def param(self) -> ast.Param:
+        tok = self.expect(T.NAME)
+        self.expect(T.COLON, "':'")
+        return ast.Param(
+            name=tok.text, type=self.type_name(), line=tok.line, col=tok.column
+        )
+
+    def type_name(self) -> ast.Type:
+        tok = self.peek()
+        if tok.kind in _TYPE_TOKENS:
+            self.advance()
+            return _TYPE_TOKENS[tok.kind]
+        raise ParseError(f"expected a type, found {tok.text!r}", tok.line, tok.column)
+
+    # -- statements ----------------------------------------------------------
+    def block(self) -> list[ast.Stmt]:
+        self.expect(T.LBRACE, "'{'")
+        stmts: list[ast.Stmt] = []
+        while not self.at(T.RBRACE):
+            stmts.append(self.stmt())
+        self.expect(T.RBRACE, "'}'")
+        return stmts
+
+    def stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind is T.KW_LET:
+            return self.let_stmt()
+        if tok.kind is T.KW_FOR:
+            return self.for_stmt()
+        if tok.kind is T.KW_IF:
+            return self.if_stmt()
+        if tok.kind is T.KW_CALL:
+            return self.call_stmt()
+        if tok.kind is T.KW_RETURN:
+            return self.return_stmt()
+        if tok.kind is T.NAME:
+            return self.assign_stmt()
+        raise ParseError(
+            f"expected a statement, found {tok.text!r}", tok.line, tok.column
+        )
+
+    def let_stmt(self) -> ast.LetStmt:
+        tok = self.expect(T.KW_LET)
+        name = self.expect(T.NAME).text
+        self.expect(T.ASSIGN, "'='")
+        init = self.expr()
+        self.expect(T.SEMI, "';'")
+        return ast.LetStmt(name=name, init=init, line=tok.line, col=tok.column)
+
+    def for_stmt(self) -> ast.ForStmt:
+        tok = self.expect(T.KW_FOR)
+        var = self.expect(T.NAME).text
+        self.expect(T.ASSIGN, "'='")
+        lo = self.expr()
+        self.expect(T.KW_TO, "'to'")
+        hi = self.expr()
+        step = None
+        if self.accept(T.KW_BY):
+            step = self.expr()
+        body = self.block()
+        return ast.ForStmt(
+            var=var, lo=lo, hi=hi, step=step, body=body, line=tok.line, col=tok.column
+        )
+
+    def if_stmt(self) -> ast.IfStmt:
+        tok = self.expect(T.KW_IF)
+        cond = self.expr()
+        then_body = self.block()
+        else_body: list[ast.Stmt] = []
+        if self.accept(T.KW_ELSE):
+            if self.at(T.KW_IF):
+                else_body = [self.if_stmt()]
+            else:
+                else_body = self.block()
+        return ast.IfStmt(
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            line=tok.line,
+            col=tok.column,
+        )
+
+    def call_stmt(self) -> ast.CallStmt:
+        tok = self.expect(T.KW_CALL)
+        name = self.expect(T.NAME).text
+        map_args: list[ast.Expr] = []
+        if self.accept(T.LBRACKET):
+            map_args = self.expr_list(T.RBRACKET)
+            self.expect(T.RBRACKET, "']'")
+        self.expect(T.LPAREN, "'('")
+        args = self.expr_list(T.RPAREN)
+        self.expect(T.RPAREN, "')'")
+        self.expect(T.SEMI, "';'")
+        return ast.CallStmt(
+            func=name, args=args, map_args=map_args, line=tok.line, col=tok.column
+        )
+
+    def return_stmt(self) -> ast.ReturnStmt:
+        tok = self.expect(T.KW_RETURN)
+        value = None
+        if not self.at(T.SEMI):
+            value = self.expr()
+        self.expect(T.SEMI, "';'")
+        return ast.ReturnStmt(value=value, line=tok.line, col=tok.column)
+
+    def assign_stmt(self) -> ast.AssignStmt:
+        tok = self.expect(T.NAME)
+        target: ast.Name | ast.Index
+        if self.accept(T.LBRACKET):
+            indices = self.expr_list(T.RBRACKET)
+            self.expect(T.RBRACKET, "']'")
+            target = ast.Index(
+                array=tok.text, indices=indices, line=tok.line, col=tok.column
+            )
+        else:
+            target = ast.Name(id=tok.text, line=tok.line, col=tok.column)
+        self.expect(T.ASSIGN, "'='")
+        value = self.expr()
+        self.expect(T.SEMI, "';'")
+        return ast.AssignStmt(
+            target=target, value=value, line=tok.line, col=tok.column
+        )
+
+    # -- expressions ---------------------------------------------------------
+    def expr_list(self, closer: T) -> list[ast.Expr]:
+        if self.at(closer):
+            return []
+        out = [self.expr()]
+        while self.accept(T.COMMA):
+            out.append(self.expr())
+        return out
+
+    def expr(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self.at(T.KW_OR):
+            tok = self.advance()
+            right = self.and_expr()
+            left = ast.Binary(
+                op="or", left=left, right=right, line=tok.line, col=tok.column
+            )
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self.at(T.KW_AND):
+            tok = self.advance()
+            right = self.not_expr()
+            left = ast.Binary(
+                op="and", left=left, right=right, line=tok.line, col=tok.column
+            )
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self.at(T.KW_NOT):
+            tok = self.advance()
+            return ast.Unary(
+                op="not", operand=self.not_expr(), line=tok.line, col=tok.column
+            )
+        return self.cmp_expr()
+
+    def cmp_expr(self) -> ast.Expr:
+        left = self.add_expr()
+        tok = self.peek()
+        if tok.kind in _CMP_TOKENS:
+            self.advance()
+            right = self.add_expr()
+            return ast.Binary(
+                op=_CMP_TOKENS[tok.kind],
+                left=left,
+                right=right,
+                line=tok.line,
+                col=tok.column,
+            )
+        return left
+
+    def add_expr(self) -> ast.Expr:
+        left = self.mul_expr()
+        while self.at(T.PLUS) or self.at(T.MINUS):
+            tok = self.advance()
+            right = self.mul_expr()
+            op = "+" if tok.kind is T.PLUS else "-"
+            left = ast.Binary(
+                op=op, left=left, right=right, line=tok.line, col=tok.column
+            )
+        return left
+
+    def mul_expr(self) -> ast.Expr:
+        left = self.unary_expr()
+        while True:
+            tok = self.peek()
+            if tok.kind is T.STAR:
+                op = "*"
+            elif tok.kind is T.SLASH:
+                op = "/"
+            elif tok.kind is T.KW_DIV:
+                op = "div"
+            elif tok.kind is T.KW_MOD:
+                op = "mod"
+            else:
+                return left
+            self.advance()
+            right = self.unary_expr()
+            left = ast.Binary(
+                op=op, left=left, right=right, line=tok.line, col=tok.column
+            )
+
+    def unary_expr(self) -> ast.Expr:
+        if self.at(T.MINUS):
+            tok = self.advance()
+            return ast.Unary(
+                op="-", operand=self.unary_expr(), line=tok.line, col=tok.column
+            )
+        return self.atom()
+
+    def atom(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is T.INT:
+            self.advance()
+            return ast.IntLit(value=int(tok.text), line=tok.line, col=tok.column)
+        if tok.kind is T.REAL:
+            self.advance()
+            return ast.RealLit(value=float(tok.text), line=tok.line, col=tok.column)
+        if tok.kind is T.KW_TRUE:
+            self.advance()
+            return ast.BoolLit(value=True, line=tok.line, col=tok.column)
+        if tok.kind is T.KW_FALSE:
+            self.advance()
+            return ast.BoolLit(value=False, line=tok.line, col=tok.column)
+        if tok.kind is T.KW_MATRIX or tok.kind is T.KW_VECTOR:
+            self.advance()
+            kind = ast.Type.MATRIX if tok.kind is T.KW_MATRIX else ast.Type.VECTOR
+            self.expect(T.LPAREN, "'('")
+            dims = self.expr_list(T.RPAREN)
+            self.expect(T.RPAREN, "')'")
+            return ast.AllocExpr(kind=kind, dims=dims, line=tok.line, col=tok.column)
+        if tok.kind is T.NAME:
+            self.advance()
+            if self.accept(T.LPAREN):
+                args = self.expr_list(T.RPAREN)
+                self.expect(T.RPAREN, "')'")
+                return ast.CallExpr(
+                    func=tok.text, args=args, line=tok.line, col=tok.column
+                )
+            if self.accept(T.LBRACKET):
+                indices = self.expr_list(T.RBRACKET)
+                self.expect(T.RBRACKET, "']'")
+                if self.accept(T.LPAREN):
+                    # f[P](args): a mapping-polymorphic call (§5.1).
+                    args = self.expr_list(T.RPAREN)
+                    self.expect(T.RPAREN, "')'")
+                    return ast.CallExpr(
+                        func=tok.text,
+                        args=args,
+                        map_args=indices,
+                        line=tok.line,
+                        col=tok.column,
+                    )
+                return ast.Index(
+                    array=tok.text, indices=indices, line=tok.line, col=tok.column
+                )
+            return ast.Name(id=tok.text, line=tok.line, col=tok.column)
+        if tok.kind is T.LPAREN:
+            self.advance()
+            inner = self.expr()
+            self.expect(T.RPAREN, "')'")
+            return inner
+        raise ParseError(
+            f"expected an expression, found {tok.text!r}", tok.line, tok.column
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a mini-Id program from source text."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and the mapping DSL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect(T.EOF, "end of input")
+    return expr

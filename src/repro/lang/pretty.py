@@ -1,0 +1,141 @@
+"""Un-parser: turn a mini-Id AST back into source text.
+
+Round-tripping (parse → unparse → parse) is exercised by property tests;
+the printed form is also used in error messages and documentation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "div": 5,
+    "mod": 5,
+}
+
+
+def unparse_expr(e: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, ast.IntLit):
+        return str(e.value)
+    if isinstance(e, ast.RealLit):
+        return repr(e.value)
+    if isinstance(e, ast.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, ast.Name):
+        return e.id
+    if isinstance(e, ast.Index):
+        inner = ", ".join(unparse_expr(i) for i in e.indices)
+        return f"{e.array}[{inner}]"
+    if isinstance(e, ast.CallExpr):
+        inner = ", ".join(unparse_expr(a) for a in e.args)
+        if e.map_args:
+            maps = ", ".join(unparse_expr(m) for m in e.map_args)
+            return f"{e.func}[{maps}]({inner})"
+        return f"{e.func}({inner})"
+    if isinstance(e, ast.AllocExpr):
+        kind = "matrix" if e.kind is ast.Type.MATRIX else "vector"
+        inner = ", ".join(unparse_expr(d) for d in e.dims)
+        return f"{kind}({inner})"
+    if isinstance(e, ast.Unary):
+        body = unparse_expr(e.operand, 6)
+        text = f"not {body}" if e.op == "not" else f"-{body}"
+        return f"({text})" if parent_prec > 5 else text
+    if isinstance(e, ast.Binary):
+        prec = _PRECEDENCE[e.op]
+        left = unparse_expr(e.left, prec)
+        # Right operand gets prec+1 so non-associative re-parses identically.
+        right = unparse_expr(e.right, prec + 1)
+        text = f"{left} {e.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot unparse {e!r}")
+
+
+def _unparse_stmt(stmt: ast.Stmt, indent: int, out: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ast.LetStmt):
+        out.append(f"{pad}let {stmt.name} = {unparse_expr(stmt.init)};")
+    elif isinstance(stmt, ast.AssignStmt):
+        out.append(f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.ForStmt):
+        header = f"{pad}for {stmt.var} = {unparse_expr(stmt.lo)} to {unparse_expr(stmt.hi)}"
+        if stmt.step is not None:
+            header += f" by {unparse_expr(stmt.step)}"
+        out.append(header + " {")
+        for sub in stmt.body:
+            _unparse_stmt(sub, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ast.IfStmt):
+        out.append(f"{pad}if {unparse_expr(stmt.cond)} {{")
+        for sub in stmt.then_body:
+            _unparse_stmt(sub, indent + 1, out)
+        if stmt.else_body:
+            out.append(pad + "} else {")
+            for sub in stmt.else_body:
+                _unparse_stmt(sub, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ast.CallStmt):
+        inner = ", ".join(unparse_expr(a) for a in stmt.args)
+        if stmt.map_args:
+            maps = ", ".join(unparse_expr(m) for m in stmt.map_args)
+            out.append(f"{pad}call {stmt.func}[{maps}]({inner});")
+        else:
+            out.append(f"{pad}call {stmt.func}({inner});")
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {unparse_expr(stmt.value)};")
+    else:
+        raise TypeError(f"cannot unparse {stmt!r}")
+
+
+def _unparse_mapspec(spec: ast.MapSpec) -> str:
+    if isinstance(spec, ast.MapOnAll):
+        return "on all"
+    if isinstance(spec, ast.MapOnProc):
+        return f"on proc({unparse_expr(spec.proc)})"
+    if isinstance(spec, ast.MapBy):
+        if spec.args:
+            inner = ", ".join(unparse_expr(a) for a in spec.args)
+            return f"by {spec.dist}({inner})"
+        return f"by {spec.dist}"
+    raise TypeError(f"cannot unparse {spec!r}")
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a full program as source text."""
+    out: list[str] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.ConstDecl):
+            out.append(f"const {decl.name} = {unparse_expr(decl.value)};")
+        elif isinstance(decl, ast.ParamDecl):
+            out.append(f"param {decl.name};")
+        elif isinstance(decl, ast.MapDecl):
+            out.append(f"map {decl.name} {_unparse_mapspec(decl.spec)};")
+        elif isinstance(decl, ast.ProcDecl):
+            if out:
+                out.append("")
+            params = ", ".join(f"{p.name}: {p.type.value}" for p in decl.params)
+            map_params = f"[{', '.join(decl.map_params)}]" if decl.map_params else ""
+            header = f"procedure {decl.name}{map_params}({params})"
+            if decl.returns is not ast.Type.VOID:
+                header += f" returns {decl.returns.value}"
+            out.append(header + " {")
+            for stmt in decl.body:
+                _unparse_stmt(stmt, 1, out)
+            out.append("}")
+        else:
+            raise TypeError(f"cannot unparse {decl!r}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,108 @@
+"""Token kinds for the mini-Id lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    # literals and names
+    INT = auto()
+    REAL = auto()
+    NAME = auto()
+    # keywords
+    KW_PROCEDURE = auto()
+    KW_RETURNS = auto()
+    KW_RETURN = auto()
+    KW_LET = auto()
+    KW_FOR = auto()
+    KW_TO = auto()
+    KW_BY = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_CALL = auto()
+    KW_CONST = auto()
+    KW_PARAM = auto()
+    KW_MAP = auto()
+    KW_ON = auto()
+    KW_ALL = auto()
+    KW_PROC = auto()
+    KW_DIV = auto()
+    KW_MOD = auto()
+    KW_AND = auto()
+    KW_OR = auto()
+    KW_NOT = auto()
+    KW_TRUE = auto()
+    KW_FALSE = auto()
+    KW_INT = auto()
+    KW_REAL = auto()
+    KW_BOOL = auto()
+    KW_MATRIX = auto()
+    KW_VECTOR = auto()
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    COLON = auto()
+    # operators
+    ASSIGN = auto()  # =
+    EQ = auto()  # ==
+    NE = auto()  # !=
+    LE = auto()  # <=
+    LT = auto()  # <
+    GE = auto()  # >=
+    GT = auto()  # >
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "procedure": TokenKind.KW_PROCEDURE,
+    "returns": TokenKind.KW_RETURNS,
+    "return": TokenKind.KW_RETURN,
+    "let": TokenKind.KW_LET,
+    "for": TokenKind.KW_FOR,
+    "to": TokenKind.KW_TO,
+    "by": TokenKind.KW_BY,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "call": TokenKind.KW_CALL,
+    "const": TokenKind.KW_CONST,
+    "param": TokenKind.KW_PARAM,
+    "map": TokenKind.KW_MAP,
+    "on": TokenKind.KW_ON,
+    "all": TokenKind.KW_ALL,
+    "proc": TokenKind.KW_PROC,
+    "div": TokenKind.KW_DIV,
+    "mod": TokenKind.KW_MOD,
+    "and": TokenKind.KW_AND,
+    "or": TokenKind.KW_OR,
+    "not": TokenKind.KW_NOT,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "int": TokenKind.KW_INT,
+    "real": TokenKind.KW_REAL,
+    "bool": TokenKind.KW_BOOL,
+    "matrix": TokenKind.KW_MATRIX,
+    "vector": TokenKind.KW_VECTOR,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

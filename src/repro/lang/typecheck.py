@@ -1,0 +1,481 @@
+"""Semantic analysis for mini-Id.
+
+Builds symbol tables, checks names/arity/types, folds ``const``
+declarations to values, and produces a :class:`CheckedProgram` that later
+phases (the interpreter and both resolution strategies) consume. Types are
+recorded per expression uid, never by mutating the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CheckError
+from repro.lang import ast
+from repro.lang.ast import Type
+from repro.lang.builtins import builtin_arity, builtin_result_type, is_builtin
+
+_NUMERIC = (Type.INT, Type.REAL)
+
+
+@dataclass
+class CheckedProgram:
+    """A program plus everything semantic analysis learned about it."""
+
+    program: ast.Program
+    consts: dict[str, int | float]
+    params: list[str]
+    procs: dict[str, ast.ProcDecl]
+    maps: dict[str, ast.MapSpec]
+    expr_types: dict[int, Type]  # expression uid -> type
+    var_types: dict[str, dict[str, Type]] = field(default_factory=dict)
+    # proc name -> local variable name -> type (params included)
+
+    def type_of(self, e: ast.Expr) -> Type:
+        return self.expr_types[e.uid]
+
+    def proc(self, name: str) -> ast.ProcDecl:
+        try:
+            return self.procs[name]
+        except KeyError:
+            raise CheckError(f"unknown procedure {name!r}") from None
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.vars: dict[str, Type] = {}
+        self.immutable: set[str] = set()
+
+    def lookup(self, name: str) -> Type | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def is_immutable(self, name: str) -> bool:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.vars:
+                return name in scope.immutable
+            scope = scope.parent
+        return False
+
+    def define(self, name: str, type_: Type, immutable: bool = False) -> None:
+        self.vars[name] = type_
+        if immutable:
+            self.immutable.add(name)
+
+
+class _Checker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.consts: dict[str, int | float] = {}
+        self.params: list[str] = []
+        self.procs: dict[str, ast.ProcDecl] = {}
+        self.maps: dict[str, ast.MapSpec] = {}
+        self.expr_types: dict[int, Type] = {}
+        self.var_types: dict[str, dict[str, Type]] = {}
+        self.current_proc: ast.ProcDecl | None = None
+
+    # -- driving --------------------------------------------------------
+    def run(self) -> CheckedProgram:
+        self._collect_decls()
+        for proc in self.program.procedures:
+            self._check_proc(proc)
+        self._check_maps()
+        return CheckedProgram(
+            program=self.program,
+            consts=self.consts,
+            params=self.params,
+            procs=self.procs,
+            maps=self.maps,
+            expr_types=self.expr_types,
+            var_types=self.var_types,
+        )
+
+    def _collect_decls(self) -> None:
+        for decl in self.program.decls:
+            if isinstance(decl, ast.ConstDecl):
+                if decl.name in self.consts or decl.name in self.params:
+                    raise CheckError(
+                        f"duplicate constant {decl.name!r}", decl.line, decl.col
+                    )
+                self.consts[decl.name] = self._fold_const(decl.value)
+            elif isinstance(decl, ast.ParamDecl):
+                if decl.name in self.consts or decl.name in self.params:
+                    raise CheckError(
+                        f"duplicate parameter {decl.name!r}", decl.line, decl.col
+                    )
+                self.params.append(decl.name)
+            elif isinstance(decl, ast.ProcDecl):
+                if decl.name in self.procs:
+                    raise CheckError(
+                        f"duplicate procedure {decl.name!r}", decl.line, decl.col
+                    )
+                self.procs[decl.name] = decl
+            elif isinstance(decl, ast.MapDecl):
+                if decl.name in self.maps:
+                    raise CheckError(
+                        f"duplicate map for {decl.name!r}", decl.line, decl.col
+                    )
+                self.maps[decl.name] = decl.spec
+
+    def _fold_const(self, e: ast.Expr) -> int | float:
+        if isinstance(e, ast.IntLit):
+            return e.value
+        if isinstance(e, ast.RealLit):
+            return e.value
+        if isinstance(e, ast.Name):
+            if e.id in self.consts:
+                return self.consts[e.id]
+            raise CheckError(
+                f"constant initializer references non-constant {e.id!r}",
+                e.line,
+                e.col,
+            )
+        if isinstance(e, ast.Unary) and e.op == "-":
+            return -self._fold_const(e.operand)
+        if isinstance(e, ast.Binary) and e.op in ("+", "-", "*", "div", "mod"):
+            left = self._fold_const(e.left)
+            right = self._fold_const(e.right)
+            if e.op == "+":
+                return left + right
+            if e.op == "-":
+                return left - right
+            if e.op == "*":
+                return left * right
+            if e.op == "div":
+                return left // right
+            return left % right
+        raise CheckError("constant initializer is not a constant", e.line, e.col)
+
+    # -- procedures -------------------------------------------------------
+    def _check_proc(self, proc: ast.ProcDecl) -> None:
+        self.current_proc = proc
+        scope = _Scope()
+        for name in self.consts:
+            scope.define(name, self._const_type(name), immutable=True)
+        for name in self.params:
+            scope.define(name, Type.INT, immutable=True)
+        for map_param in proc.map_params:
+            scope.define(map_param, Type.INT, immutable=True)
+        seen: set[str] = set()
+        for param in proc.params:
+            if param.name in seen:
+                raise CheckError(
+                    f"duplicate parameter {param.name!r} in {proc.name}",
+                    proc.line,
+                    proc.col,
+                )
+            seen.add(param.name)
+            scope.define(param.name, param.type)
+        self._check_body(proc.body, scope, proc)
+        # Merge: inner-scope lets were recorded while checking the body.
+        table = self.var_types.setdefault(proc.name, {})
+        for name, type_ in self._snapshot_types(scope, proc).items():
+            table.setdefault(name, type_)
+        self.current_proc = None
+
+    def _snapshot_types(self, scope: _Scope, proc: ast.ProcDecl) -> dict[str, Type]:
+        out: dict[str, Type] = {}
+        node: _Scope | None = scope
+        while node is not None:
+            for name, type_ in node.vars.items():
+                out.setdefault(name, type_)
+            node = node.parent
+        return out
+
+    def _const_type(self, name: str) -> Type:
+        return Type.INT if isinstance(self.consts[name], int) else Type.REAL
+
+    def _check_body(
+        self, body: list[ast.Stmt], scope: _Scope, proc: ast.ProcDecl
+    ) -> None:
+        for stmt in body:
+            self._check_stmt(stmt, scope, proc)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope, proc: ast.ProcDecl) -> None:
+        if isinstance(stmt, ast.LetStmt):
+            if stmt.name in scope.vars:
+                raise CheckError(
+                    f"let rebinds {stmt.name!r} in the same scope",
+                    stmt.line,
+                    stmt.col,
+                )
+            init_type = self._check_expr(stmt.init, scope)
+            if init_type is Type.VOID:
+                raise CheckError(
+                    "let initializer has no value", stmt.line, stmt.col
+                )
+            scope.define(stmt.name, init_type)
+            # Record let-bound locals in the procedure's variable table as we
+            # go, because inner scopes disappear after checking.
+            self.var_types.setdefault(proc.name, {})[stmt.name] = init_type
+        elif isinstance(stmt, ast.AssignStmt):
+            self._check_assign(stmt, scope)
+        elif isinstance(stmt, ast.ForStmt):
+            for bound in (stmt.lo, stmt.hi, stmt.step):
+                if bound is None:
+                    continue
+                if self._check_expr(bound, scope) is not Type.INT:
+                    raise CheckError(
+                        "loop bounds must be integers", stmt.line, stmt.col
+                    )
+            inner = _Scope(scope)
+            inner.define(stmt.var, Type.INT, immutable=True)
+            self.var_types.setdefault(proc.name, {})[stmt.var] = Type.INT
+            self._check_body(stmt.body, inner, proc)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._check_expr(stmt.cond, scope) is not Type.BOOL:
+                raise CheckError("if condition must be boolean", stmt.line, stmt.col)
+            self._check_body(stmt.then_body, _Scope(scope), proc)
+            self._check_body(stmt.else_body, _Scope(scope), proc)
+        elif isinstance(stmt, ast.CallStmt):
+            self._check_call(stmt.func, stmt.args, scope, stmt, stmt.map_args)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if proc.returns is Type.VOID:
+                if stmt.value is not None:
+                    raise CheckError(
+                        f"{proc.name} returns no value", stmt.line, stmt.col
+                    )
+            else:
+                if stmt.value is None:
+                    raise CheckError(
+                        f"{proc.name} must return a {proc.returns.value}",
+                        stmt.line,
+                        stmt.col,
+                    )
+                got = self._check_expr(stmt.value, scope)
+                if not _compatible(proc.returns, got):
+                    raise CheckError(
+                        f"{proc.name} returns {proc.returns.value}, got {got.value}",
+                        stmt.line,
+                        stmt.col,
+                    )
+        else:
+            raise CheckError(f"unknown statement {stmt!r}", stmt.line, stmt.col)
+
+    def _check_assign(self, stmt: ast.AssignStmt, scope: _Scope) -> None:
+        value_type = self._check_expr(stmt.value, scope)
+        if isinstance(stmt.target, ast.Name):
+            existing = scope.lookup(stmt.target.id)
+            if existing is None:
+                raise CheckError(
+                    f"assignment to undeclared variable {stmt.target.id!r} "
+                    "(use let to introduce it)",
+                    stmt.line,
+                    stmt.col,
+                )
+            if scope.is_immutable(stmt.target.id):
+                raise CheckError(
+                    f"cannot assign to {stmt.target.id!r} (loop variable, "
+                    "const, or param)",
+                    stmt.line,
+                    stmt.col,
+                )
+            if not _compatible(existing, value_type):
+                raise CheckError(
+                    f"cannot assign {value_type.value} to "
+                    f"{stmt.target.id!r}: {existing.value}",
+                    stmt.line,
+                    stmt.col,
+                )
+            self.expr_types[stmt.target.uid] = existing
+        else:
+            self._check_index_target(stmt.target, scope)
+            if value_type not in _NUMERIC:
+                raise CheckError(
+                    "array elements must be numeric", stmt.line, stmt.col
+                )
+
+    def _check_index_target(self, target: ast.Index, scope: _Scope) -> None:
+        array_type = scope.lookup(target.array)
+        if array_type is None:
+            raise CheckError(
+                f"unknown array {target.array!r}", target.line, target.col
+            )
+        if not array_type.is_array():
+            raise CheckError(
+                f"{target.array!r} is not an array", target.line, target.col
+            )
+        expected = 2 if array_type is Type.MATRIX else 1
+        if len(target.indices) != expected:
+            raise CheckError(
+                f"{target.array!r} needs {expected} indices, got "
+                f"{len(target.indices)}",
+                target.line,
+                target.col,
+            )
+        for idx in target.indices:
+            if self._check_expr(idx, scope) is not Type.INT:
+                raise CheckError(
+                    "array indices must be integers", target.line, target.col
+                )
+        self.expr_types[target.uid] = Type.INT
+
+    def _check_call(
+        self,
+        func: str,
+        args: list[ast.Expr],
+        scope: _Scope,
+        site: ast.Node,
+        map_args: list[ast.Expr] | None = None,
+    ) -> Type:
+        arg_types = [self._check_expr(a, scope) for a in args]
+        map_args = map_args or []
+        if is_builtin(func):
+            if map_args:
+                raise CheckError(
+                    f"builtin {func} takes no map arguments", site.line, site.col
+                )
+            if len(args) != builtin_arity(func):
+                raise CheckError(
+                    f"{func} expects {builtin_arity(func)} arguments",
+                    site.line,
+                    site.col,
+                )
+            for t in arg_types:
+                if t not in _NUMERIC:
+                    raise CheckError(
+                        f"{func} arguments must be numeric", site.line, site.col
+                    )
+            return builtin_result_type(func, arg_types)
+        callee = self.procs.get(func)
+        if callee is None:
+            raise CheckError(f"unknown procedure {func!r}", site.line, site.col)
+        if len(map_args) != len(callee.map_params):
+            raise CheckError(
+                f"{func} expects {len(callee.map_params)} map arguments, "
+                f"got {len(map_args)}",
+                site.line,
+                site.col,
+            )
+        for map_arg in map_args:
+            if self._check_expr(map_arg, scope) is not Type.INT:
+                raise CheckError(
+                    "map arguments must be integers", site.line, site.col
+                )
+        if len(args) != len(callee.params):
+            raise CheckError(
+                f"{func} expects {len(callee.params)} arguments, got {len(args)}",
+                site.line,
+                site.col,
+            )
+        for arg_type, param in zip(arg_types, callee.params):
+            if not _compatible(param.type, arg_type):
+                raise CheckError(
+                    f"argument {param.name!r} of {func} expects "
+                    f"{param.type.value}, got {arg_type.value}",
+                    site.line,
+                    site.col,
+                )
+        return callee.returns
+
+    def _check_expr(self, e: ast.Expr, scope: _Scope) -> Type:
+        type_ = self._infer(e, scope)
+        self.expr_types[e.uid] = type_
+        return type_
+
+    def _infer(self, e: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(e, ast.IntLit):
+            return Type.INT
+        if isinstance(e, ast.RealLit):
+            return Type.REAL
+        if isinstance(e, ast.BoolLit):
+            return Type.BOOL
+        if isinstance(e, ast.Name):
+            found = scope.lookup(e.id)
+            if found is None:
+                raise CheckError(f"unknown variable {e.id!r}", e.line, e.col)
+            return found
+        if isinstance(e, ast.Index):
+            self._check_index_target(e, scope)
+            return Type.INT  # the paper's grids are integer grids
+        if isinstance(e, ast.AllocExpr):
+            expected = 2 if e.kind is Type.MATRIX else 1
+            if len(e.dims) != expected:
+                raise CheckError(
+                    f"{e.kind.value} allocation needs {expected} sizes",
+                    e.line,
+                    e.col,
+                )
+            for dim in e.dims:
+                if self._check_expr(dim, scope) is not Type.INT:
+                    raise CheckError(
+                        "allocation sizes must be integers", e.line, e.col
+                    )
+            return e.kind
+        if isinstance(e, ast.CallExpr):
+            result = self._check_call(e.func, e.args, scope, e, e.map_args)
+            if result is Type.VOID:
+                raise CheckError(
+                    f"{e.func} returns no value but is used in an expression",
+                    e.line,
+                    e.col,
+                )
+            return result
+        if isinstance(e, ast.Unary):
+            inner = self._check_expr(e.operand, scope)
+            if e.op == "-":
+                if inner not in _NUMERIC:
+                    raise CheckError("negation needs a number", e.line, e.col)
+                return inner
+            if inner is not Type.BOOL:
+                raise CheckError("'not' needs a boolean", e.line, e.col)
+            return Type.BOOL
+        if isinstance(e, ast.Binary):
+            left = self._check_expr(e.left, scope)
+            right = self._check_expr(e.right, scope)
+            if e.op in ast.LOGICAL_OPS:
+                if left is not Type.BOOL or right is not Type.BOOL:
+                    raise CheckError(f"'{e.op}' needs booleans", e.line, e.col)
+                return Type.BOOL
+            if e.op in ast.COMPARISON_OPS:
+                if left not in _NUMERIC or right not in _NUMERIC:
+                    raise CheckError(
+                        f"'{e.op}' compares numbers", e.line, e.col
+                    )
+                return Type.BOOL
+            if left not in _NUMERIC or right not in _NUMERIC:
+                raise CheckError(f"'{e.op}' needs numbers", e.line, e.col)
+            if e.op in ("div", "mod"):
+                if left is not Type.INT or right is not Type.INT:
+                    raise CheckError(
+                        f"'{e.op}' needs integers", e.line, e.col
+                    )
+                return Type.INT
+            if e.op == "/":
+                return Type.REAL
+            if left is Type.REAL or right is Type.REAL:
+                return Type.REAL
+            return Type.INT
+        raise CheckError(f"unknown expression {e!r}", e.line, e.col)
+
+    # -- maps --------------------------------------------------------------
+    def _check_maps(self) -> None:
+        known_names: set[str] = set(self.consts) | set(self.params)
+        for proc in self.procs.values():
+            known_names.update(p.name for p in proc.params)
+            known_names.update(self.var_types.get(proc.name, {}))
+        for name, spec in self.maps.items():
+            if name not in known_names:
+                raise CheckError(
+                    f"map declaration for unknown variable {name!r}",
+                    spec.line,
+                    spec.col,
+                )
+
+
+def _compatible(expected: Type, got: Type) -> bool:
+    if expected == got:
+        return True
+    # Integers coerce to reals, as in the usual numeric tower.
+    return expected is Type.REAL and got is Type.INT
+
+
+def check_program(program: ast.Program) -> CheckedProgram:
+    """Run semantic analysis; raises :class:`CheckError` on bad programs."""
+    return _Checker(program).run()

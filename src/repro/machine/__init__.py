@@ -1,0 +1,30 @@
+"""Message-passing machine simulator.
+
+A deterministic discrete-event simulation of the paper's machine model
+(§2.2): ``n`` processors, each running one process, exchanging
+point-to-point messages whose cost is dominated by a large fixed start-up
+charge. "The cost of accessing a data item is binary — local access is
+more efficient than non-local access, but all non-local accesses are
+equally expensive."
+
+Processes are Python generators that yield :class:`Compute`, :class:`Send`
+and :class:`Recv` effects; the engine advances per-processor virtual
+clocks, matches messages FIFO per (source, destination, channel), collects
+message statistics, and detects deadlock.
+"""
+
+from repro.machine.costs import MachineParams
+from repro.machine.process import Compute, Recv, Send
+from repro.machine.simulator import SimResult, Simulator
+from repro.machine.stats import ChannelKey, MessageStats
+
+__all__ = [
+    "ChannelKey",
+    "Compute",
+    "MachineParams",
+    "MessageStats",
+    "Recv",
+    "Send",
+    "SimResult",
+    "Simulator",
+]

@@ -1,0 +1,43 @@
+"""Effects yielded by simulated processes.
+
+A process is a Python generator. It yields effect objects to the engine;
+for :class:`Recv`, the engine resumes the generator with the received
+payload (a tuple of scalars). Generators return their final value via
+``return``, which the engine records per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Advance this processor's clock by ``cost_us`` of local work."""
+
+    cost_us: float
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Send ``payload`` (a tuple of scalars) to processor ``dst``.
+
+    ``channel`` names the logical message stream; matching is FIFO per
+    (src, dst, channel) triple, mirroring typed messages (csend/crecv
+    message types) on the iPSC/2.
+    """
+
+    dst: int
+    channel: str
+    payload: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Recv:
+    """Block until a message on ``channel`` from processor ``src`` arrives.
+
+    The engine resumes the generator with the payload tuple.
+    """
+
+    src: int
+    channel: str

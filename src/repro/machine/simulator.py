@@ -1,0 +1,381 @@
+"""The discrete-event engine.
+
+Scheduling: processes run until they block on an empty receive queue or
+finish. Because message matching is FIFO per (src, dst, channel) and each
+process is sequential, the *values* received are independent of the
+scheduling order; only the virtual clocks encode timing. A receive
+completes at
+
+    max(receiver clock at the call, arrival time) + recv overhead
+
+where the arrival time is the sender's clock when the send completed plus
+the uniform network latency. This makes the simulation deterministic and
+the timing faithful to the paper's machine model (§2.2): local work and
+message start-up dominate, distance does not exist.
+
+Deadlock (every unfinished process blocked on a receive) raises
+:class:`DeadlockError` listing who waits on what — the condition generated
+code must never reach.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.errors import DeadlockError, NodeRuntimeError, SimulationError
+from repro.machine.costs import MachineParams
+from repro.machine.process import Compute, Recv, Send
+from repro.machine.stats import ChannelKey, MessageStats
+
+ProcessFactory = Callable[[int], Generator]
+
+
+class _Status(Enum):
+    READY = auto()
+    BLOCKED = auto()
+    DONE = auto()
+    FAILED = auto()
+
+
+@dataclass
+class TraceEvent:
+    time_us: float
+    proc: int
+    kind: str  # "send" | "recv" | "done"
+    detail: str
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produced.
+
+    With a non-identity placement (several processes per physical
+    processor, §5.3), ``finish_times_us``/``busy_times_us`` are indexed by
+    *process* while ``cpu_finish_us``/``cpu_busy_us`` are indexed by
+    physical processor.
+    """
+
+    nprocs: int
+    finish_times_us: list[float]
+    busy_times_us: list[float]
+    returned: list[object]
+    stats: MessageStats
+    trace: list[TraceEvent] = field(default_factory=list)
+    cpu_finish_us: list[float] = field(default_factory=list)
+    cpu_busy_us: list[float] = field(default_factory=list)
+
+    @property
+    def makespan_us(self) -> float:
+        """Total simulated execution time (the slowest processor)."""
+        if self.cpu_finish_us:
+            return max(self.cpu_finish_us)
+        return max(self.finish_times_us) if self.finish_times_us else 0.0
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.total_messages
+
+
+class _Proc:
+    __slots__ = (
+        "rank",
+        "gen",
+        "cpu",
+        "busy",
+        "finish",
+        "status",
+        "waiting_on",
+        "returned",
+        "resume_value",
+        "pending_effect",
+        "deferred",
+    )
+
+    def __init__(self, rank: int, gen: Generator, cpu: int):
+        self.rank = rank
+        self.gen = gen
+        self.cpu = cpu
+        self.busy = 0.0
+        self.finish = 0.0
+        self.status = _Status.READY
+        self.waiting_on: ChannelKey | None = None
+        self.returned: object = None
+        self.resume_value: object = None
+        self.pending_effect: Recv | None = None
+        self.deferred = False
+
+
+class Simulator:
+    """Run ``nprocs`` generator processes under a cost model."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        params: MachineParams | None = None,
+        trace: bool = False,
+        max_steps: int = 50_000_000,
+    ):
+        if nprocs < 1:
+            raise SimulationError(f"need at least one processor, got {nprocs}")
+        self.nprocs = nprocs
+        self.params = params or MachineParams.ipsc2()
+        self.trace_enabled = trace
+        self.max_steps = max_steps
+
+    def run(
+        self, factory: ProcessFactory, placement: list[int] | None = None
+    ) -> SimResult:
+        """Instantiate one process per rank via ``factory`` and run it.
+
+        ``placement`` maps each process to a physical processor (default:
+        one process per processor, the paper's base model §2.2). Processes
+        sharing a processor share its clock — when one blocks on a
+        receive, a co-located process keeps the processor busy (the
+        latency-hiding of §5.4) — and messages between co-located
+        processes skip the network (start-up-free local delivery).
+        """
+        if placement is None:
+            placement = list(range(self.nprocs))
+        if len(placement) != self.nprocs:
+            raise SimulationError(
+                f"placement has {len(placement)} entries for {self.nprocs} "
+                "processes"
+            )
+        ncpus = max(placement) + 1 if placement else 1
+        if any(not 0 <= cpu < ncpus for cpu in placement):
+            raise SimulationError(f"bad placement {placement}")
+        self._cpu_clock = [0.0] * ncpus
+        self._cpu_busy = [0.0] * ncpus
+        procs = [
+            _Proc(rank, factory(rank), placement[rank])
+            for rank in range(self.nprocs)
+        ]
+        self._placement = placement
+        # (src, dst, channel) -> deque of (arrival_time, payload)
+        queues: dict[ChannelKey, deque] = defaultdict(deque)
+        blocked_on: dict[ChannelKey, list[_Proc]] = defaultdict(list)
+        stats = MessageStats()
+        trace: list[TraceEvent] = []
+        params = self.params
+        steps = 0
+
+        ready = deque(procs)
+        while ready:
+            proc = ready.popleft()
+            if proc.status is not _Status.READY:
+                continue
+            while proc.status is _Status.READY:
+                steps += 1
+                if steps > self.max_steps:
+                    raise SimulationError(
+                        f"simulation exceeded {self.max_steps} steps "
+                        "(livelock or runaway program?)"
+                    )
+                try:
+                    if proc.pending_effect is not None:
+                        effect = proc.pending_effect
+                        proc.pending_effect = None
+                    elif proc.resume_value is not None:
+                        value, proc.resume_value = proc.resume_value, None
+                        effect = proc.gen.send(value)
+                    else:
+                        effect = next(proc.gen)
+                except StopIteration as stop:
+                    proc.status = _Status.DONE
+                    proc.returned = stop.value
+                    proc.finish = self._cpu_clock[proc.cpu]
+                    if self.trace_enabled:
+                        trace.append(
+                            TraceEvent(proc.finish, proc.rank, "done", "")
+                        )
+                    break
+                except (DeadlockError, SimulationError):
+                    raise
+                except Exception as err:
+                    proc.status = _Status.FAILED
+                    raise NodeRuntimeError(str(err), proc=proc.rank) from err
+
+                if isinstance(effect, Compute):
+                    self._cpu_clock[proc.cpu] += effect.cost_us
+                    self._cpu_busy[proc.cpu] += effect.cost_us
+                    proc.busy += effect.cost_us
+                    proc.finish = self._cpu_clock[proc.cpu]
+                elif isinstance(effect, Send):
+                    self._do_send(
+                        proc, effect, queues, blocked_on, ready, stats, trace
+                    )
+                elif isinstance(effect, Recv):
+                    outcome = self._handle_recv(
+                        proc, effect, queues, procs, trace
+                    )
+                    if outcome == "blocked":
+                        key = ChannelKey(effect.src, proc.rank, effect.channel)
+                        proc.status = _Status.BLOCKED
+                        proc.waiting_on = key
+                        blocked_on[key].append(proc)
+                    elif outcome == "deferred":
+                        # Let a co-located ready process use the idle time
+                        # before this receive's arrival (§5.4's latency
+                        # hiding); re-attempt the receive afterwards.
+                        proc.pending_effect = effect
+                        ready.append(proc)
+                        break
+                else:
+                    raise SimulationError(
+                        f"process {proc.rank} yielded unknown effect {effect!r}"
+                    )
+
+            if not ready:
+                blocked = [p for p in procs if p.status is _Status.BLOCKED]
+                if blocked:
+                    raise DeadlockError(
+                        "all live processes are blocked on receives",
+                        blocked={
+                            p.rank: str(p.waiting_on) for p in blocked
+                        },
+                    )
+
+        return SimResult(
+            nprocs=self.nprocs,
+            finish_times_us=[p.finish for p in procs],
+            busy_times_us=[p.busy for p in procs],
+            returned=[p.returned for p in procs],
+            stats=stats,
+            trace=trace,
+            cpu_finish_us=list(self._cpu_clock),
+            cpu_busy_us=list(self._cpu_busy),
+        )
+
+    # -- effect handlers -----------------------------------------------------
+    def _do_send(
+        self,
+        proc: _Proc,
+        effect: Send,
+        queues: dict[ChannelKey, deque],
+        blocked_on: dict[ChannelKey, list[_Proc]],
+        ready: deque,
+        stats: MessageStats,
+        trace: list[TraceEvent],
+    ) -> None:
+        if not 0 <= effect.dst < self.nprocs:
+            raise NodeRuntimeError(
+                f"send to invalid processor {effect.dst}", proc=proc.rank
+            )
+        if effect.dst == proc.rank:
+            raise NodeRuntimeError(
+                f"self-send on channel {effect.channel!r} "
+                "(a local access must not become a message)",
+                proc=proc.rank,
+            )
+        params = self.params
+        nbytes = len(effect.payload) * params.scalar_bytes
+        local = self._placement[effect.dst] == proc.cpu
+        if local:
+            # Co-located processes exchange data through memory: only a
+            # copy cost, no message start-up and no network latency.
+            cost = params.mem_us * len(effect.payload)
+            arrival_delay = 0.0
+        else:
+            cost = params.message_cost_send(nbytes)
+            arrival_delay = params.latency_us
+        self._cpu_clock[proc.cpu] += cost
+        self._cpu_busy[proc.cpu] += cost
+        proc.busy += cost
+        proc.finish = self._cpu_clock[proc.cpu]
+        arrival = self._cpu_clock[proc.cpu] + arrival_delay
+        key = ChannelKey(proc.rank, effect.dst, effect.channel)
+        queues[key].append((arrival, effect.payload))
+        if not local:
+            # Local deliveries are memory copies, not network messages.
+            stats.record(key, nbytes)
+        if self.trace_enabled:
+            trace.append(
+                TraceEvent(
+                    self._cpu_clock[proc.cpu],
+                    proc.rank,
+                    "send",
+                    f"->{effect.dst} {effect.channel} x{len(effect.payload)}",
+                )
+            )
+        waiters = blocked_on.get(key)
+        if waiters:
+            # Wake the waiter; it re-issues its receive from the main loop
+            # (which may then defer in favour of co-located ready work).
+            waiter = waiters.pop(0)
+            waiter.status = _Status.READY
+            waiter.waiting_on = None
+            waiter.pending_effect = Recv(key.src, key.channel)
+            ready.append(waiter)
+
+    def _handle_recv(
+        self,
+        proc: _Proc,
+        effect: Recv,
+        queues: dict[ChannelKey, deque],
+        procs: list[_Proc],
+        trace: list[TraceEvent],
+    ) -> str:
+        """Attempt a receive: "done", "blocked", or "deferred"."""
+        if not 0 <= effect.src < self.nprocs:
+            raise NodeRuntimeError(
+                f"recv from invalid processor {effect.src}", proc=proc.rank
+            )
+        if effect.src == proc.rank:
+            raise NodeRuntimeError(
+                f"self-receive on channel {effect.channel!r}", proc=proc.rank
+            )
+        key = ChannelKey(effect.src, proc.rank, effect.channel)
+        queue = queues.get(key)
+        if not queue:
+            proc.deferred = False
+            return "blocked"
+        arrival_time = queue[0][0]
+        if (
+            arrival_time > self._cpu_clock[proc.cpu]
+            and not proc.deferred
+            and any(
+                other is not proc
+                and other.cpu == proc.cpu
+                and other.status is _Status.READY
+                for other in procs
+            )
+        ):
+            proc.deferred = True
+            return "deferred"
+        arrival_time, payload = queue.popleft()
+        proc.deferred = False
+        self._complete_recv(proc, key, arrival_time, payload, trace)
+        return "done"
+
+    def _complete_recv(
+        self,
+        proc: _Proc,
+        key: ChannelKey,
+        arrival_time: float,
+        payload: tuple,
+        trace: list[TraceEvent],
+    ) -> None:
+        params = self.params
+        local = self._placement[key.src] == proc.cpu
+        overhead = (
+            params.mem_us * len(payload) if local else params.message_cost_recv()
+        )
+        cpu = proc.cpu
+        self._cpu_clock[cpu] = max(self._cpu_clock[cpu], arrival_time) + overhead
+        self._cpu_busy[cpu] += overhead
+        proc.busy += overhead
+        proc.finish = self._cpu_clock[cpu]
+        proc.waiting_on = None
+        proc.resume_value = payload
+        if self.trace_enabled:
+            trace.append(
+                TraceEvent(
+                    self._cpu_clock[cpu],
+                    proc.rank,
+                    "recv",
+                    f"<-{key.src} {key.channel} x{len(payload)}",
+                )
+            )

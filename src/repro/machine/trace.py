@@ -1,0 +1,71 @@
+"""Rendering of simulation event traces.
+
+``render_timeline`` draws an ASCII communication timeline — one row per
+process, one column per time bucket — which makes pipeline structure
+visible at a glance: the wavefront of Optimized II/III shows up as a
+staircase of send/receive marks, while the unoptimized compile-time code
+shows one long serial band.
+
+Marks: ``s`` send, ``r`` receive, ``*`` both in the same bucket,
+``.`` finished.
+"""
+
+from __future__ import annotations
+
+from repro.machine.simulator import SimResult, TraceEvent
+
+
+def render_timeline(
+    result: SimResult, width: int = 72, label: str = "t"
+) -> str:
+    """ASCII timeline of a traced run (requires ``trace=True``)."""
+    if not result.trace:
+        return "(no trace recorded; run the simulator with trace=True)"
+    horizon = max(result.makespan_us, 1e-9)
+    buckets: dict[int, list[str]] = {
+        rank: [" "] * width for rank in range(result.nprocs)
+    }
+
+    def mark(row: list[str], position: int, symbol: str) -> None:
+        position = min(width - 1, max(0, position))
+        current = row[position]
+        if current == " " or current == symbol:
+            row[position] = symbol
+        else:
+            row[position] = "*"
+
+    for event in result.trace:
+        col = int(event.time_us / horizon * (width - 1))
+        if event.kind == "send":
+            mark(buckets[event.proc], col, "s")
+        elif event.kind == "recv":
+            mark(buckets[event.proc], col, "r")
+        elif event.kind == "done":
+            mark(buckets[event.proc], col, ".")
+
+    lines = [f"timeline ({label} = 0 .. {horizon:.0f} us)"]
+    for rank in range(result.nprocs):
+        lines.append(f"p{rank:<3d} |{''.join(buckets[rank])}|")
+    lines.append("      s=send r=recv *=both .=done")
+    return "\n".join(lines)
+
+
+def trace_summary(result: SimResult) -> str:
+    """Counts of traced events per kind."""
+    counts: dict[str, int] = {}
+    for event in result.trace:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    parts = [f"{kind}={count}" for kind, count in sorted(counts.items())]
+    return ", ".join(parts) if parts else "(empty trace)"
+
+
+def filter_trace(
+    result: SimResult, proc: int | None = None, kind: str | None = None
+) -> list[TraceEvent]:
+    """Events of one process and/or kind, in time order."""
+    events = [
+        e
+        for e in result.trace
+        if (proc is None or e.proc == proc) and (kind is None or e.kind == kind)
+    ]
+    return sorted(events, key=lambda e: e.time_us)

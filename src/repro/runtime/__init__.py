@@ -1,0 +1,12 @@
+"""Node-level runtime: I-structures and local arrays.
+
+These are the data structures the generated node programs (and the
+sequential reference interpreter) manipulate. I-structures implement the
+paper's §2.1 semantics: allocation is separate from definition, each
+element may be written at most once, and reading an undefined element is
+a run-time error.
+"""
+
+from repro.runtime.istructure import IStructure, LocalArray
+
+__all__ = ["IStructure", "LocalArray"]

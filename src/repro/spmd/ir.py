@@ -1,0 +1,369 @@
+"""The SPMD intermediate representation.
+
+Design notes:
+
+* One program for all processors. ``NMyNode()`` is the executing
+  processor's rank ``p``; ``NNProcs()`` is the ring size ``S``. Both
+  run-time-resolved and compile-time-resolved programs are SPMD — the
+  difference is how much rank-dependence has been folded into guards vs
+  loop bounds.
+* All array accesses use *local* indices. The compiler emits the
+  distribution's ``local`` function explicitly (the ``col-local(i, j)``
+  calls of Figure 5); the IR itself knows nothing about distributions.
+* Communication is point-to-point on named channels with FIFO matching
+  per (src, dst, channel). ``NCoerce`` is run-time resolution's
+  communication primitive (§3.1); compile-time resolution splits every
+  coerce into explicit ``NSend``/``NRecv`` halves.
+* Expressions are pure. Only statements touch memory or the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class NExpr:
+    """Base class for node-program expressions (pure)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NConst(NExpr):
+    value: int | float | bool
+
+
+@dataclass(frozen=True, slots=True)
+class NVar(NExpr):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class NMyNode(NExpr):
+    """The executing processor's rank (``mynode()``)."""
+
+
+@dataclass(frozen=True, slots=True)
+class NNProcs(NExpr):
+    """The number of processors (the ring size S)."""
+
+
+@dataclass(frozen=True, slots=True)
+class NBin(NExpr):
+    op: str  # + - * / div mod == != < <= > >= and or
+    left: NExpr
+    right: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NUn(NExpr):
+    op: str  # - not
+    operand: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NCall(NExpr):
+    """A builtin scalar function (min/max/abs)."""
+
+    func: str
+    args: tuple[NExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NIsRead(NExpr):
+    """``is_read(arr, local indices)`` on this processor's part of ``arr``."""
+
+    array: str
+    indices: tuple[NExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NBufRead(NExpr):
+    """Read a slot of a local scratch buffer."""
+
+    buf: str
+    indices: tuple[NExpr, ...]
+
+
+# ---------------------------------------------------------------------------
+# L-values (targets of assignment / receive)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class VarLV:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class IsLV:
+    array: str
+    indices: tuple[NExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BufLV:
+    buf: str
+    indices: tuple[NExpr, ...]
+
+
+LValue = VarLV | IsLV | BufLV
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class NStmt:
+    """Base class for node-program statements."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class NAssign(NStmt):
+    target: LValue
+    value: NExpr
+
+
+@dataclass(slots=True)
+class NAllocIs(NStmt):
+    """Allocate this processor's local part of a distributed I-structure."""
+
+    name: str
+    shape: tuple[NExpr, ...]
+
+
+@dataclass(slots=True)
+class NAllocBuf(NStmt):
+    """Allocate a local scratch buffer (calloc in the paper's listings)."""
+
+    name: str
+    shape: tuple[NExpr, ...]
+
+
+@dataclass(slots=True)
+class NFor(NStmt):
+    var: str
+    lo: NExpr
+    hi: NExpr
+    step: NExpr
+    body: list[NStmt]
+
+
+@dataclass(slots=True)
+class NIf(NStmt):
+    cond: NExpr
+    then_body: list[NStmt]
+    else_body: list[NStmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class NSend(NStmt):
+    """``csend``: transmit scalar values to processor ``dst``."""
+
+    dst: NExpr
+    channel: str
+    values: tuple[NExpr, ...]
+
+
+@dataclass(slots=True)
+class NRecv(NStmt):
+    """``crecv``: block for one message from ``src``; store its scalars.
+
+    The message must carry exactly ``len(targets)`` scalars.
+    """
+
+    src: NExpr
+    channel: str
+    targets: tuple[LValue, ...]
+
+
+@dataclass(slots=True)
+class NSendVec(NStmt):
+    """Send buffer slots ``lo..hi`` (inclusive) as one message."""
+
+    dst: NExpr
+    channel: str
+    buf: str
+    lo: NExpr
+    hi: NExpr
+
+
+@dataclass(slots=True)
+class NRecvVec(NStmt):
+    """Receive one message into buffer slots ``lo..hi`` (inclusive)."""
+
+    src: NExpr
+    channel: str
+    buf: str
+    lo: NExpr
+    hi: NExpr
+
+
+@dataclass(slots=True)
+class NCoerce(NStmt):
+    """Run-time resolution's ``coerce`` (§3.1, Figure 4b).
+
+    Executed by every processor. Dynamically: let ``o = owner`` and
+    ``d = dest``. If ``o == d``, the owner simply evaluates ``value`` into
+    ``target``. Otherwise the owner sends the value to ``d`` and ``d``
+    receives it into ``target``. ``value`` is evaluated only on the owner
+    (it reads data that exists only there).
+    """
+
+    target: VarLV
+    value: NExpr
+    owner: NExpr
+    dest: NExpr
+    channel: str
+
+
+@dataclass(slots=True)
+class NBroadcast(NStmt):
+    """Owner sends ``value`` to every other processor; all store it.
+
+    Coercion to the ALL mapping: needed when a replicated variable is
+    defined from owned data.
+    """
+
+    target: VarLV
+    value: NExpr
+    owner: NExpr
+    channel: str
+
+
+@dataclass(slots=True)
+class NCallProc(NStmt):
+    """Invoke another node procedure.
+
+    ``args`` are scalar expressions or array names (strings) — arrays are
+    passed by reference. ``result`` optionally names a local variable that
+    receives the return value.
+    """
+
+    proc: str
+    args: tuple[object, ...]  # NExpr | str (array name)
+    result: VarLV | None = None
+    array_result: str | None = None  # bind a returned array under this name
+
+
+@dataclass(slots=True)
+class NReturn(NStmt):
+    """Return a scalar expression or an array (by name) from a procedure."""
+
+    value: object | None = None  # NExpr | str (array name) | None
+
+
+@dataclass(slots=True)
+class NComment(NStmt):
+    """A no-op annotation, preserved by the pretty printer."""
+
+    text: str
+
+
+# ---------------------------------------------------------------------------
+# Procedures and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class NodeProc:
+    """One node-level procedure.
+
+    ``params`` lists parameter names; ``array_params`` flags which of them
+    are arrays (bound by reference to local parts).
+    """
+
+    name: str
+    params: list[str]
+    array_params: set[str] = field(default_factory=set)
+    body: list[NStmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class NodeProgram:
+    """A complete SPMD program: procedures plus an entry point."""
+
+    name: str
+    procs: dict[str, NodeProc]
+    entry: str
+
+    def entry_proc(self) -> NodeProc:
+        return self.procs[self.entry]
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (used by handwritten programs and tests)
+# ---------------------------------------------------------------------------
+
+
+def const(value: int | float | bool) -> NConst:
+    return NConst(value)
+
+
+def var(name: str) -> NVar:
+    return NVar(name)
+
+
+def nbin(op: str, left: NExpr, right: NExpr) -> NBin:
+    return NBin(op, left, right)
+
+
+def add(left: NExpr, right: NExpr) -> NBin:
+    return NBin("+", left, right)
+
+
+def sub(left: NExpr, right: NExpr) -> NBin:
+    return NBin("-", left, right)
+
+
+def mul(left: NExpr, right: NExpr) -> NBin:
+    return NBin("*", left, right)
+
+
+def mod(left: NExpr, right: NExpr) -> NBin:
+    return NBin("mod", left, right)
+
+
+def intdiv(left: NExpr, right: NExpr) -> NBin:
+    return NBin("div", left, right)
+
+
+def walk_stmts(body: list[NStmt]):
+    """Yield every statement in a body, depth-first (pre-order)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, NFor):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, NIf):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+
+
+def walk_exprs(e: NExpr):
+    """Yield every expression node under ``e``, depth-first."""
+    yield e
+    if isinstance(e, NBin):
+        yield from walk_exprs(e.left)
+        yield from walk_exprs(e.right)
+    elif isinstance(e, NUn):
+        yield from walk_exprs(e.operand)
+    elif isinstance(e, NCall):
+        for a in e.args:
+            yield from walk_exprs(a)
+    elif isinstance(e, (NIsRead, NBufRead)):
+        for a in e.indices:
+            yield from walk_exprs(a)
+
+
+def stmt_channels(stmt: NStmt) -> list[str]:
+    """Channel names a statement communicates on (empty for local ops)."""
+    if isinstance(stmt, (NSend, NRecv, NSendVec, NRecvVec, NCoerce, NBroadcast)):
+        return [stmt.channel]
+    return []

@@ -1,0 +1,77 @@
+"""Scatter/gather between global arrays and per-processor local parts.
+
+The simulator's processors hold only their local parts (the paper's
+``alloc``). The harness uses these helpers to distribute input arrays
+before a run and to reassemble the result afterwards, so results can be
+compared element-for-element with the sequential interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.distrib.base import Distribution
+from repro.errors import MappingError
+from repro.runtime import IStructure
+
+
+def _cells(shape: tuple[int, ...]):
+    if len(shape) == 1:
+        for i in range(1, shape[0] + 1):
+            yield (i,)
+    elif len(shape) == 2:
+        for i in range(1, shape[0] + 1):
+            for j in range(1, shape[1] + 1):
+                yield (i, j)
+    else:
+        raise MappingError(f"unsupported array rank {len(shape)}")
+
+
+def scatter(
+    source: IStructure, dist: Distribution, nprocs: int, name: str = "arr"
+) -> list[IStructure]:
+    """Split a global I-structure into per-processor local parts.
+
+    Undefined elements of the source stay undefined in the local parts
+    (I-structures are allocated empty and filled element by element).
+    """
+    shape = source.shape
+    local_shape = dist.alloc_shape(shape, nprocs)
+    parts = [
+        IStructure(local_shape, name=f"{name}@p{rank}") for rank in range(nprocs)
+    ]
+    for cell in _cells(shape):
+        if not source.is_defined(*cell):
+            continue
+        owner = dist.owner(cell, nprocs, shape)
+        local = dist.local(cell, nprocs, shape)
+        parts[owner].write(*local, source.read(*cell))
+    return parts
+
+
+def gather(
+    parts: list[IStructure],
+    dist: Distribution,
+    nprocs: int,
+    shape: tuple[int, ...],
+    name: str = "arr",
+) -> IStructure:
+    """Reassemble a global I-structure from per-processor local parts."""
+    if len(parts) != nprocs:
+        raise MappingError(
+            f"gather expected {nprocs} parts, got {len(parts)}"
+        )
+    out = IStructure(shape, name=name)
+    for cell in _cells(shape):
+        owner = dist.owner(cell, nprocs, shape)
+        local = dist.local(cell, nprocs, shape)
+        if parts[owner].is_defined(*local):
+            out.write(*cell, parts[owner].read(*local))
+    return out
+
+
+def make_full(shape: tuple[int, ...], fill, name: str = "arr") -> IStructure:
+    """A fully defined I-structure; ``fill`` is a value or ``fn(*cell)``."""
+    out = IStructure(shape, name=name)
+    for cell in _cells(shape):
+        value = fill(*cell) if callable(fill) else fill
+        out.write(*cell, value)
+    return out

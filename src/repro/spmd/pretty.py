@@ -1,0 +1,188 @@
+"""C-like pretty printer for SPMD node programs.
+
+The output imitates the paper's Appendix A listings (``is_read``,
+``is_write``, ``csend``, ``crecv``), which makes generated code directly
+comparable with the published programs and is what the tests for Figure 4
+and Appendix A assert against.
+"""
+
+from __future__ import annotations
+
+from repro.spmd import ir
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "div": 5,
+    "mod": 5,
+}
+
+_C_OPS = {"div": "/", "mod": "%", "and": "&&", "or": "||"}
+
+
+def pretty_expr(e: ir.NExpr, parent_prec: int = 0) -> str:
+    if isinstance(e, ir.NConst):
+        if isinstance(e.value, bool):
+            return "1" if e.value else "0"
+        return str(e.value)
+    if isinstance(e, ir.NVar):
+        return e.name
+    if isinstance(e, ir.NMyNode):
+        return "p"
+    if isinstance(e, ir.NNProcs):
+        return "S"
+    if isinstance(e, ir.NBin):
+        prec = _PRECEDENCE[e.op]
+        left = pretty_expr(e.left, prec)
+        right = pretty_expr(e.right, prec + 1)
+        text = f"{left} {_C_OPS.get(e.op, e.op)} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, ir.NUn):
+        inner = pretty_expr(e.operand, 6)
+        text = f"!{inner}" if e.op == "not" else f"-{inner}"
+        return text
+    if isinstance(e, ir.NCall):
+        args = ", ".join(pretty_expr(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, ir.NIsRead):
+        args = ", ".join(pretty_expr(i) for i in e.indices)
+        return f"is_read({e.array}, {args})"
+    if isinstance(e, ir.NBufRead):
+        args = "][".join(pretty_expr(i) for i in e.indices)
+        return f"{e.buf}[{args}]"
+    raise TypeError(f"cannot pretty-print {e!r}")
+
+
+def _lvalue(lv: ir.LValue) -> str:
+    if isinstance(lv, ir.VarLV):
+        return lv.name
+    if isinstance(lv, ir.BufLV):
+        args = "][".join(pretty_expr(i) for i in lv.indices)
+        return f"{lv.buf}[{args}]"
+    if isinstance(lv, ir.IsLV):
+        args = ", ".join(pretty_expr(i) for i in lv.indices)
+        return f"is_write({lv.array}, {args}, ...)"
+    raise TypeError(f"cannot pretty-print lvalue {lv!r}")
+
+
+def _emit(stmt: ir.NStmt, indent: int, out: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ir.NAssign):
+        if isinstance(stmt.target, ir.IsLV):
+            args = ", ".join(pretty_expr(i) for i in stmt.target.indices)
+            out.append(
+                f"{pad}is_write({stmt.target.array}, {args}, "
+                f"{pretty_expr(stmt.value)});"
+            )
+        else:
+            out.append(f"{pad}{_lvalue(stmt.target)} = {pretty_expr(stmt.value)};")
+    elif isinstance(stmt, ir.NAllocIs):
+        dims = ", ".join(pretty_expr(d) for d in stmt.shape)
+        out.append(f"{pad}{stmt.name} = istruct_alloc({dims});")
+    elif isinstance(stmt, ir.NAllocBuf):
+        dims = ", ".join(pretty_expr(d) for d in stmt.shape)
+        out.append(f"{pad}{stmt.name} = calloc({dims});")
+    elif isinstance(stmt, ir.NFor):
+        header = (
+            f"{pad}for ({stmt.var} = {pretty_expr(stmt.lo)}; "
+            f"{stmt.var} <= {pretty_expr(stmt.hi)}; "
+        )
+        step = pretty_expr(stmt.step)
+        header += f"{stmt.var}++)" if step == "1" else f"{stmt.var} += {step})"
+        out.append(header + " {")
+        for sub in stmt.body:
+            _emit(sub, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ir.NIf):
+        out.append(f"{pad}if ({pretty_expr(stmt.cond)}) {{")
+        for sub in stmt.then_body:
+            _emit(sub, indent + 1, out)
+        if stmt.else_body:
+            out.append(pad + "} else {")
+            for sub in stmt.else_body:
+                _emit(sub, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ir.NSend):
+        values = ", ".join(pretty_expr(v) for v in stmt.values)
+        out.append(
+            f"{pad}csend({values}, {pretty_expr(stmt.dst)});"
+            f"  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NRecv):
+        targets = ", ".join("&" + _lvalue(t) for t in stmt.targets)
+        out.append(
+            f"{pad}crecv({targets}, {pretty_expr(stmt.src)});"
+            f"  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NSendVec):
+        out.append(
+            f"{pad}csend({stmt.buf}[{pretty_expr(stmt.lo)}.."
+            f"{pretty_expr(stmt.hi)}], {pretty_expr(stmt.dst)});"
+            f"  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NRecvVec):
+        out.append(
+            f"{pad}crecv({stmt.buf}[{pretty_expr(stmt.lo)}.."
+            f"{pretty_expr(stmt.hi)}], {pretty_expr(stmt.src)});"
+            f"  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NCoerce):
+        out.append(
+            f"{pad}{stmt.target.name} = coerce({pretty_expr(stmt.value)}, "
+            f"{pretty_expr(stmt.owner)}, {pretty_expr(stmt.dest)});"
+            f"  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NBroadcast):
+        out.append(
+            f"{pad}{stmt.target.name} = broadcast({pretty_expr(stmt.value)}, "
+            f"{pretty_expr(stmt.owner)});  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NCallProc):
+        args = ", ".join(
+            a if isinstance(a, str) else pretty_expr(a) for a in stmt.args
+        )
+        call = f"{stmt.proc}({args})"
+        if stmt.result is not None:
+            out.append(f"{pad}{stmt.result.name} = {call};")
+        else:
+            out.append(f"{pad}{call};")
+    elif isinstance(stmt, ir.NReturn):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        elif isinstance(stmt.value, str):
+            out.append(f"{pad}return({stmt.value});")
+        else:
+            out.append(f"{pad}return({pretty_expr(stmt.value)});")
+    elif isinstance(stmt, ir.NComment):
+        out.append(f"{pad}/* {stmt.text} */")
+    else:
+        raise TypeError(f"cannot pretty-print statement {stmt!r}")
+
+
+def pretty_proc(proc: ir.NodeProc) -> str:
+    params = ", ".join(proc.params)
+    out = [f"node_proc {proc.name}({params}) {{"]
+    for stmt in proc.body:
+        _emit(stmt, 1, out)
+    out.append("}")
+    return "\n".join(out)
+
+
+def pretty_program(program: ir.NodeProgram) -> str:
+    """Render the whole program; the entry procedure comes first."""
+    order = [program.entry] + sorted(
+        name for name in program.procs if name != program.entry
+    )
+    chunks = [f"/* SPMD program: {program.name} (entry {program.entry}) */"]
+    chunks.extend(pretty_proc(program.procs[name]) for name in order)
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,66 @@
+"""Symbolic integer algebra.
+
+This package implements the small symbolic engine the compiler uses to
+reason about domain-decomposition mappings: integer expressions with
+``+ - * div mod min max``, boolean conditions over them, a normalizing
+simplifier, and a solver that turns mapping equations such as
+``(j - 1) mod S = p`` into strided iteration ranges (the heart of the
+paper's loop-bound specialization, §3.2).
+"""
+
+from repro.symbolic.expr import (
+    Add,
+    And,
+    BoolConst,
+    BoolExpr,
+    Const,
+    Eq,
+    Expr,
+    FloorDiv,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Var,
+    sym,
+)
+from repro.symbolic.ranges import StridedRange
+from repro.symbolic.simplify import as_affine, decide, simplify, simplify_bool
+from repro.symbolic.solve import solve_membership
+
+__all__ = [
+    "Add",
+    "And",
+    "BoolConst",
+    "BoolExpr",
+    "Const",
+    "Eq",
+    "Expr",
+    "FloorDiv",
+    "Ge",
+    "Gt",
+    "Le",
+    "Lt",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "Ne",
+    "Not",
+    "Or",
+    "StridedRange",
+    "Var",
+    "as_affine",
+    "decide",
+    "simplify",
+    "simplify_bool",
+    "solve_membership",
+    "sym",
+]

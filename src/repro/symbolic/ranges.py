@@ -1,0 +1,108 @@
+"""Iteration-set results produced by the mapping-equation solver.
+
+The solver answers "for which iterations of ``for v = lo to hi`` does
+``map(v) = p`` hold?". Three shapes of answer arise from the built-in
+distributions:
+
+* :class:`StridedRange` — e.g. cyclic mappings give ``v = first, first+S,
+  ... <= last`` (Figure 5's ``for j = p to N by S``).
+* :class:`BlockedRange` — block-cyclic mappings give a union of equally
+  spaced blocks, iterated as two nested loops.
+* :data:`UNCONSTRAINED` — the condition does not mention the loop variable
+  at all (it can be hoisted out of the loop unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.symbolic.expr import Add, Const, Expr, Max, Min, Mul, Var
+
+
+@dataclass(frozen=True)
+class StridedRange:
+    """Iterations ``first, first+step, ...`` up to and including ``last``.
+
+    ``first > last`` denotes the empty set. ``step`` must be positive.
+
+    When the range came from a congruence (cyclic mappings), ``residue``
+    and ``modulus`` record the class ``v ≡ residue (mod modulus)`` — the
+    loop-distribution machinery uses them to re-index sibling nests onto a
+    shared loop (Figure 5's ``for j = p to N by S``).
+    """
+
+    first: Expr
+    last: Expr
+    step: Expr
+    residue: Expr | None = None
+    modulus: Expr | None = None
+
+    def iterate(self, env: dict[str, int]):
+        """Concrete iteration (for testing and the reference executor)."""
+        first = self.first.evaluate(env)
+        last = self.last.evaluate(env)
+        step = self.step.evaluate(env)
+        if step <= 0:
+            raise ValueError(f"non-positive stride {step}")
+        return range(first, last + 1, step)
+
+    def __str__(self) -> str:
+        return f"[{self.first} : {self.last} : {self.step}]"
+
+
+@dataclass(frozen=True)
+class BlockedRange:
+    """A union of blocks: for ``t = t_first, t_first+t_step, ... <= t_last``
+    the member iterations are ``max(lo, t*block - shift) ..
+    min(hi, t*block + block - 1 - shift)``.
+
+    Produced for block-cyclic mappings, where the owned iterations form
+    equally spaced runs of length ``block``.
+    """
+
+    t_first: Expr
+    t_last: Expr
+    t_step: Expr
+    block: Expr
+    shift: Expr
+    lo: Expr
+    hi: Expr
+
+    def inner_bounds(self, t: Expr) -> tuple[Expr, Expr]:
+        """Loop bounds of the inner (within-block) loop for block index t."""
+        base = Add((Mul((t, self.block)), Mul((Const(-1), self.shift))))
+        inner_lo = Max((self.lo, base))
+        inner_hi = Min((self.hi, Add((base, self.block, Const(-1)))))
+        return inner_lo, inner_hi
+
+    def iterate(self, env: dict[str, int]):
+        t_first = self.t_first.evaluate(env)
+        t_last = self.t_last.evaluate(env)
+        t_step = self.t_step.evaluate(env)
+        out: list[int] = []
+        t_var = Var("__t")
+        for t in range(t_first, t_last + 1, t_step):
+            inner_lo, inner_hi = self.inner_bounds(t_var)
+            scoped = dict(env)
+            scoped["__t"] = t
+            out.extend(range(inner_lo.evaluate(scoped), inner_hi.evaluate(scoped) + 1))
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"blocks(t in [{self.t_first} : {self.t_last} : {self.t_step}], "
+            f"block={self.block}, shift={self.shift}, clamp=[{self.lo}, {self.hi}])"
+        )
+
+
+class _Unconstrained:
+    """The equation does not involve the loop variable."""
+
+    def __repr__(self) -> str:
+        return "UNCONSTRAINED"
+
+
+UNCONSTRAINED = _Unconstrained()
+
+SolveResult = Union[StridedRange, BlockedRange, _Unconstrained, None]

@@ -1,0 +1,36 @@
+"""Shared helpers for core compiler tests."""
+
+from repro.apps.gauss_seidel import SOURCE, reference_rows
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.machine import MachineParams
+from repro.spmd.layout import make_full
+
+FREE = MachineParams.free_messages()
+
+
+def compile_gs(strategy=Strategy.COMPILE_TIME, opt_level=OptLevel.NONE,
+               assume_nprocs_min=1):
+    return compile_program(
+        SOURCE,
+        strategy=strategy,
+        opt_level=opt_level,
+        entry_shapes={"Old": ("N", "N")},
+        assume_nprocs_min=assume_nprocs_min,
+    )
+
+
+def run_gs(compiled, n, nprocs, blksize=4, machine=FREE):
+    old = make_full((n, n), 1, name="Old")
+    return execute(
+        compiled,
+        nprocs,
+        inputs={"Old": old},
+        params={"N": n},
+        machine=machine,
+        extra_globals={"blksize": blksize},
+    )
+
+
+def gs_reference(n):
+    return reference_rows(n, [[1] * n for _ in range(n)])

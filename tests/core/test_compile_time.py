@@ -1,0 +1,307 @@
+"""Tests for compile-time resolution (§3.2)."""
+
+import pytest
+
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.machine import MachineParams
+from repro.spmd import ir, pretty_program
+from repro.spmd.layout import make_full
+
+from tests.core.helpers import FREE, compile_gs, gs_reference, run_gs
+from tests.core.test_runtime_resolution import FIG4
+
+
+class TestFigure4:
+    def test_coerces_are_split(self):
+        compiled = compile_program(FIG4, strategy=Strategy.COMPILE_TIME)
+        text = pretty_program(compiled.program)
+        # No dynamic coerce remains: sends and receives with folded guards.
+        assert "coerce(" not in text
+        assert "csend(a, 3)" in text
+        assert "csend(b, 3)" in text
+        assert "crecv(" in text
+
+    def test_result_equals_runtime_resolution(self):
+        compiled = compile_program(FIG4, strategy=Strategy.COMPILE_TIME)
+        out = execute(compiled, 4, machine=FREE)
+        assert out.value == 12
+        assert out.total_messages == 2 + 3  # identical traffic, fewer tests
+
+    def test_guards_statically_placed(self):
+        compiled = compile_program(FIG4, strategy=Strategy.COMPILE_TIME)
+        text = pretty_program(compiled.program)
+        # Every send/recv sits under a concrete processor guard.
+        assert "if (p == 1)" in text
+        assert "if (p == 2)" in text
+        assert "if (p == 3)" in text
+
+
+class TestGaussSeidelStructure:
+    def test_shared_strided_loop(self):
+        # Figure 5: "for j = p to N by S" (our indices are 1-based).
+        compiled = compile_gs(assume_nprocs_min=2)
+        text = pretty_program(compiled.program)
+        assert "j += S" in text
+
+    def test_no_dynamic_ownership_tests_with_assumed_ring(self):
+        compiled = compile_gs(assume_nprocs_min=2)
+        text = pretty_program(compiled.program)
+        main = text.split("node_proc init_boundary")[0]
+        assert "!= p" not in main
+        assert "coerce(" not in main
+
+    def test_dynamic_fallback_without_assumption(self):
+        # With S possibly 1, locality is inconclusive: run-time tests stay.
+        compiled = compile_gs(assume_nprocs_min=1)
+        text = pretty_program(compiled.program)
+        main = text.split("node_proc init_boundary")[0]
+        assert "!= p" in main or "== p" in main
+
+    def test_three_nests_per_column(self):
+        # Old-send nest, compute nest, New-send nest — Figure 5's shape.
+        compiled = compile_gs(assume_nprocs_min=2)
+        entry = compiled.program.entry_proc()
+        loops = [s for s in entry.body if isinstance(s, ir.NFor)]
+        assert len(loops) == 1
+        shared = loops[0]
+        sends = sum(
+            isinstance(s, ir.NSend) for s in ir.walk_stmts(shared.body)
+        )
+        recvs = sum(
+            isinstance(s, ir.NRecv) for s in ir.walk_stmts(shared.body)
+        )
+        assert sends == 2  # one per remote operand
+        assert recvs == 2
+
+    def test_init_boundary_column_loop_restricted(self):
+        compiled = compile_gs(assume_nprocs_min=2)
+        text = pretty_program(compiled.program)
+        init = text.split("node_proc init_boundary")[1]
+        # The column-boundary loop steps by S (specialized bounds).
+        assert "j += S" in init
+
+
+class TestGaussSeidelBehaviour:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+    def test_correct_any_ring_size(self, nprocs):
+        compiled = compile_gs()
+        n = 9
+        out = run_gs(compiled, n, nprocs)
+        assert out.value.to_nested() == gs_reference(n)
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+    def test_correct_with_assumed_ring(self, nprocs):
+        compiled = compile_gs(assume_nprocs_min=2)
+        n = 11
+        out = run_gs(compiled, n, nprocs)
+        assert out.value.to_nested() == gs_reference(n)
+
+    def test_same_message_count_as_runtime(self):
+        # "It exchanges as many messages as the run-time version" (§4).
+        n = 10
+        ctr = run_gs(compile_gs(), n, 4)
+        rtr = run_gs(compile_gs(Strategy.RUNTIME), n, 4)
+        assert ctr.total_messages == rtr.total_messages == 2 * (n - 2) ** 2
+
+    def test_fewer_guard_operations_than_runtime(self):
+        # Compile-time resolution iterates only owned columns: its busy
+        # time is far below run-time resolution's at zero message cost.
+        machine = MachineParams.free_messages().with_(op_us=1.0)
+        n, nprocs = 12, 4
+        ctr = run_gs(compile_gs(assume_nprocs_min=2), n, nprocs, machine=machine)
+        rtr = run_gs(compile_gs(Strategy.RUNTIME), n, nprocs, machine=machine)
+        assert sum(ctr.sim.busy_times_us) < 0.7 * sum(rtr.sim.busy_times_us)
+
+
+class TestOtherDistributions:
+    JACOBI_ROWS = """
+    param N;
+    const c = 1;
+    map Old by wrapped_rows;
+    map New by wrapped_rows;
+    procedure step(Old: matrix) returns matrix {
+        let New = matrix(N, N);
+        for i = 2 to N - 1 {
+            for j = 2 to N - 1 {
+                New[i, j] = c * (Old[i - 1, j] + Old[i, j - 1]
+                                 + Old[i + 1, j] + Old[i, j + 1]);
+            }
+        }
+        return New;
+    }
+    """
+
+    def _reference(self, n):
+        old = [[1] * n for _ in range(n)]
+        new = [[None] * n for _ in range(n)]
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                new[i][j] = (
+                    old[i - 1][j] + old[i][j - 1] + old[i + 1][j] + old[i][j + 1]
+                )
+        return new
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+    def test_wrapped_rows(self, nprocs):
+        compiled = compile_program(
+            self.JACOBI_ROWS,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n = 8
+        out = execute(
+            compiled, nprocs,
+            inputs={"Old": make_full((n, n), 1)},
+            params={"N": n},
+            machine=FREE,
+        )
+        assert out.value.to_nested() == self._reference(n)
+
+    def test_wrapped_rows_splits_inner_loop(self):
+        # The row mapping depends on i (the outer loop is j-independent):
+        # the split lands on the i loop.
+        compiled = compile_program(
+            self.JACOBI_ROWS,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"Old": ("N", "N")},
+            assume_nprocs_min=2,
+        )
+        text = pretty_program(compiled.program)
+        assert "i += S" in text
+
+    BLOCK_COLS = JACOBI_ROWS.replace("wrapped_rows", "block_cols").replace(
+        "for i = 2", "for j = 2"
+    ).replace("for j = 2 to N - 1 {\n            for j", "for i")
+
+    def test_block_cols(self):
+        source = """
+        param N;
+        const c = 1;
+        map Old by block_cols;
+        map New by block_cols;
+        procedure step(Old: matrix) returns matrix {
+            let New = matrix(N, N);
+            for j = 2 to N - 1 {
+                for i = 2 to N - 1 {
+                    New[i, j] = c * (Old[i - 1, j] + Old[i, j - 1]
+                                     + Old[i + 1, j] + Old[i, j + 1]);
+                }
+            }
+            return New;
+        }
+        """
+        compiled = compile_program(
+            source,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n = 9
+        for nprocs in (1, 2, 3):
+            out = execute(
+                compiled, nprocs,
+                inputs={"Old": make_full((n, n), 1)},
+                params={"N": n},
+                machine=FREE,
+            )
+            assert out.value.to_nested() == self._reference(n)
+
+    def test_block_cols_contiguous_bounds(self):
+        source = """
+        param N;
+        map A by block_cols;
+        procedure fill(A: matrix) {
+            for j = 1 to N {
+                for i = 1 to N {
+                    A[i, j] = i * 100 + j;
+                }
+            }
+        }
+        """
+        compiled = compile_program(
+            source,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"A": ("N", "N")},
+        )
+        text = pretty_program(compiled.program)
+        # Block ownership solves to a contiguous j range, not a stride.
+        assert "j += S" not in text
+
+
+class TestFallbacks:
+    def test_imperfect_nest_falls_back_but_stays_correct(self):
+        source = """
+        param N;
+        map v by wrapped;
+        map w by wrapped;
+        procedure main(v: vector) returns vector {
+            let w = vector(N);
+            for i = 1 to N {
+                w[i] = v[i] * 2;
+                w[i] = w[i];
+            }
+            return w;
+        }
+        """
+        # Double write: actually invalid I-structure program; use distinct
+        # elements instead.
+        source = source.replace("w[i] = w[i];", "")
+        compiled = compile_program(
+            source,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"v": ("N",)},
+        )
+        n = 7
+        v = make_full((n,), lambda i: i, name="v")
+        out = execute(compiled, 3, inputs={"v": v}, params={"N": n}, machine=FREE)
+        assert out.value.to_list() == [2 * i for i in range(1, n + 1)]
+
+    def test_non_affine_index_falls_back(self):
+        source = """
+        param N;
+        map v by wrapped;
+        map w by wrapped;
+        procedure main(v: vector) returns vector {
+            let w = vector(N);
+            for i = 1 to N {
+                w[(i * 3) mod N + 1] = v[i];
+            }
+            return w;
+        }
+        """
+        compiled = compile_program(
+            source,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"v": ("N",)},
+        )
+        from repro.spmd import pretty_program
+
+        # The nested mod is outside the solver's reach — dynamic coerces
+        # remain (the paper's inconclusive outcome)...
+        assert "coerce(" in pretty_program(compiled.program)
+        # ...and the generated code still computes the right permutation.
+        n = 7  # gcd(3, 7) = 1, so i*3 mod 7 + 1 is a permutation
+        v = make_full((n,), lambda i: i * 10, name="v")
+        out = execute(compiled, 2, inputs={"v": v}, params={"N": n}, machine=FREE)
+        for i in range(1, n + 1):
+            assert out.value.read((i * 3) % n + 1) == i * 10
+
+
+class TestParticipantsGuards:
+    def test_single_owner_helper_called_by_owner_only(self):
+        source = """
+        map x on proc(1);
+        map y on proc(1);
+        procedure bump() { }
+        procedure main() returns int {
+            let x = 1;
+            call bump();
+            let y = x + 1;
+            return y;
+        }
+        """
+        compiled = compile_program(
+            source, strategy=Strategy.COMPILE_TIME, entry="main"
+        )
+        out = execute(compiled, 3, machine=FREE)
+        assert out.value == 2

@@ -1,0 +1,134 @@
+"""Tests for the evaluators/participants analysis (§3.2, Figure 4c)."""
+
+from repro.core.evaluators import ALL, ParticipantsAnalysis, ProcSet
+from repro.distrib import DecompositionSpec
+from repro.lang import check_program, parse_program
+from repro.symbolic import Const, Var
+
+
+def analyse(source):
+    checked = check_program(parse_program(source))
+    spec = DecompositionSpec.from_program(checked)
+    return checked, ParticipantsAnalysis(checked, spec).run()
+
+
+class TestProcSet:
+    def test_union_with_all_is_all(self):
+        assert ProcSet.of(Const(1)).union(ALL).is_all
+
+    def test_union_of_finites(self):
+        s = ProcSet.of(Const(1)).union(ProcSet.of(Const(2)))
+        assert not s.is_all
+        assert len(s.members) == 2
+
+    def test_members_are_simplified(self):
+        s = ProcSet.of(Const(1) + 1)
+        assert Const(2) in s.members
+
+    def test_subst(self):
+        s = ProcSet.of(Var("P"))
+        assert Const(5) in s.subst({"P": Const(5)}).members
+
+    def test_str_forms(self):
+        assert str(ALL) == "ALL"
+        assert "1" in str(ProcSet.of(Const(1)))
+
+
+class TestScalarPrograms:
+    def test_figure4_participants(self):
+        checked, analysis = analyse(
+            """
+            map a on proc(1);
+            map b on proc(2);
+            map c on proc(3);
+            procedure main() {
+                let a = 5;
+                let b = 7;
+                let c = a + b;
+            }
+            """
+        )
+        parts = analysis.participants_of_proc("main")
+        assert not parts.is_all
+        assert {str(m) for m in parts.members} == {"1", "2", "3"}
+
+    def test_per_statement_sets(self):
+        checked, analysis = analyse(
+            """
+            map a on proc(1);
+            map c on proc(3);
+            procedure main() {
+                let a = 5;
+                let c = a + 1;
+            }
+            """
+        )
+        stmt_a, stmt_c = checked.proc("main").body
+        assert {str(m) for m in analysis.participants_of_stmt(stmt_a).members} == {"1"}
+        assert {str(m) for m in analysis.participants_of_stmt(stmt_c).members} == {
+            "1",
+            "3",
+        }
+
+    def test_replicated_target_is_all(self):
+        checked, analysis = analyse(
+            "map r on all; procedure main() { let r = 1; }"
+        )
+        assert analysis.participants_of_proc("main").is_all
+
+    def test_array_statements_are_all(self):
+        checked, analysis = analyse(
+            """
+            param N;
+            map v by wrapped;
+            procedure main() {
+                let v = vector(N);
+                for i = 1 to N { v[i] = i; }
+            }
+            """
+        )
+        assert analysis.participants_of_proc("main").is_all
+
+
+class TestInterprocedural:
+    def test_callee_participants_flow_to_caller(self):
+        checked, analysis = analyse(
+            """
+            map x on proc(2);
+            procedure helper() { let x = 1; }
+            procedure main() { call helper(); }
+            """
+        )
+        helper = analysis.participants_of_proc("helper")
+        main = analysis.participants_of_proc("main")
+        assert {str(m) for m in helper.members} == {"2"}
+        assert {str(m) for m in main.members} == {"2"}
+
+    def test_recursive_procedure_converges(self):
+        checked, analysis = analyse(
+            """
+            map acc on proc(1);
+            procedure down(n: int) {
+                let acc = n;
+                if n > 0 { call down(n - 1); }
+            }
+            """
+        )
+        parts = analysis.participants_of_proc("down")
+        assert {str(m) for m in parts.members} == {"1"}
+
+    def test_conditional_unions_branches(self):
+        checked, analysis = analyse(
+            """
+            map a on proc(1);
+            map b on proc(2);
+            procedure main(k: int) {
+                let a = 0;
+                let b = 0;
+                if k > 0 { a = 1; } else { b = 2; }
+            }
+            """
+        )
+        (let_a, let_b, if_stmt) = checked.proc("main").body
+        parts = analysis.participants_of_stmt(if_stmt)
+        assert {str(m) for m in parts.members} == {"1", "2"}

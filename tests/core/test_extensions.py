@@ -1,0 +1,311 @@
+"""Tests for the §5 extensions: polymorphism, placement, load balancing,
+per-rank specialization, and loop interchange."""
+
+import pytest
+
+from repro.apps import triangular
+from repro.apps.gauss_seidel import SOURCE, SOURCE_REVERSED_LOOPS, reference_rows
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.dynamic import (
+    PlacementPlan,
+    block_placement,
+    imbalance,
+    rebalance,
+    round_robin_placement,
+)
+from repro.core.polymorphism import monomorphize
+from repro.core.runner import execute
+from repro.core.specialize import specialize_for_rank
+from repro.core.transforms.interchange import interchange
+from repro.errors import TransformError
+from repro.lang import check_program, parse_program
+from repro.machine import MachineParams
+from repro.spmd import pretty_program
+from repro.spmd.layout import make_full
+
+FREE = MachineParams.free_messages()
+
+MONO = """
+map b on proc(2);
+map c on proc(3);
+map r1 on proc(2);
+map r2 on proc(3);
+map a on proc(1);
+map total on proc(0);
+procedure f(a: int) returns int { return a; }
+procedure main() returns int {
+    let b = 20;
+    let c = 30;
+    let r1 = f(b);
+    let r2 = f(c);
+    let total = r1 + r2;
+    return total;
+}
+"""
+
+POLY = (
+    MONO.replace("map a on proc(1);", "map a on proc(P);")
+    .replace("procedure f(a: int)", "procedure f[P](a: int)")
+    .replace("f(b)", "f[2](b)")
+    .replace("f(c)", "f[3](c)")
+)
+
+
+class TestPolymorphism:
+    def test_monomorphize_creates_instances(self):
+        mono = monomorphize(parse_program(POLY))
+        names = {p.name for p in mono.procedures}
+        assert "f__m1" in names and "f__m2" in names
+        assert not any(p.map_params for p in mono.procedures)
+
+    def test_instances_get_their_own_maps(self):
+        mono = monomorphize(parse_program(POLY))
+        maps = {m.name for m in mono.maps}
+        assert "a__m1" in maps and "a__m2" in maps
+        assert "a" not in maps
+
+    def test_same_map_args_share_an_instance(self):
+        source = POLY.replace("f[3](c)", "f[2](c)")
+        mono = monomorphize(parse_program(source))
+        instances = [p.name for p in mono.procedures if p.name.startswith("f__")]
+        assert len(instances) == 1
+
+    def test_results_agree(self):
+        for src in (MONO, POLY):
+            compiled = compile_program(src, strategy=Strategy.COMPILE_TIME,
+                                       entry="main")
+            out = execute(compiled, 4, machine=FREE)
+            assert out.value == 50
+
+    def test_polymorphism_eliminates_messages(self):
+        """Figures 8 vs 9: the argument transfers through P1 disappear."""
+        outs = {}
+        for name, src in (("mono", MONO), ("poly", POLY)):
+            compiled = compile_program(src, strategy=Strategy.COMPILE_TIME,
+                                       entry="main")
+            outs[name] = execute(compiled, 4, machine=MachineParams.ipsc2())
+        assert outs["poly"].total_messages < outs["mono"].total_messages
+        assert outs["poly"].makespan_us < outs["mono"].makespan_us
+
+    def test_sequential_interpreter_handles_map_args(self):
+        from repro.lang import run_sequential
+
+        checked = check_program(parse_program(POLY))
+        assert run_sequential(checked, "main").value == 50
+
+    def test_missing_map_args_rejected(self):
+        from repro.errors import CheckError
+
+        bad = POLY.replace("f[2](b)", "f(b)")
+        with pytest.raises(CheckError, match="map arguments"):
+            check_program(parse_program(bad))
+
+
+class TestSpecialize:
+    def test_figure4d_per_processor_listings(self):
+        from repro.apps.simple import SOURCE as FIG4
+
+        compiled = compile_program(FIG4, strategy=Strategy.COMPILE_TIME)
+        p1 = pretty_program(specialize_for_rank(compiled.program, 1, 4))
+        p3 = pretty_program(specialize_for_rank(compiled.program, 3, 4))
+        assert "a = 5;" in p1 and "csend(a, 3)" in p1
+        assert "crecv(&tmp1, 1)" in p3 and "tmp1 + tmp2" in p3
+        # P1's code carries no rank guards at all any more.
+        assert "if (p ==" not in p1
+
+    def test_specialized_run_matches_generic(self):
+        compiled = compile_program(
+            SOURCE,
+            strategy=Strategy.COMPILE_TIME,
+            opt_level=OptLevel.STRIPMINE,
+            entry_shapes={"Old": ("N", "N")},
+            assume_nprocs_min=2,
+        )
+        n = 10
+        kwargs = dict(
+            inputs={"Old": make_full((n, n), 1)},
+            params={"N": n},
+            machine=FREE,
+            extra_globals={"blksize": 3},
+        )
+        generic = execute(compiled, 4, **kwargs)
+        special = execute(compiled, 4, specialize=True, **kwargs)
+        assert special.value.to_nested() == generic.value.to_nested()
+        assert special.total_messages == generic.total_messages
+
+    def test_specialization_reduces_busy_time(self):
+        compiled = compile_program(
+            SOURCE,
+            strategy=Strategy.RUNTIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n = 10
+        kwargs = dict(
+            inputs={"Old": make_full((n, n), 1)},
+            params={"N": n},
+            machine=MachineParams.free_messages().with_(op_us=1.0),
+        )
+        generic = execute(compiled, 4, **kwargs)
+        special = execute(compiled, 4, specialize=True, **kwargs)
+        assert sum(special.sim.busy_times_us) < sum(generic.sim.busy_times_us)
+
+
+class TestInterchange:
+    def test_reversed_gs_recovered(self):
+        fixed = interchange(parse_program(SOURCE_REVERSED_LOOPS), "gs_iteration")
+        compiled = compile_program(
+            check_program(fixed),
+            strategy=Strategy.COMPILE_TIME,
+            opt_level=OptLevel.STRIPMINE,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n = 10
+        out = execute(
+            compiled, 4,
+            inputs={"Old": make_full((n, n), 1)},
+            params={"N": n},
+            machine=FREE,
+            extra_globals={"blksize": 4},
+        )
+        assert out.value.to_nested() == reference_rows(
+            n, [[1] * n for _ in range(n)]
+        )
+
+    def test_reversed_loops_lose_message_optimization(self):
+        n = 16
+        results = {}
+        for label, src in (("normal", SOURCE), ("reversed", SOURCE_REVERSED_LOOPS)):
+            compiled = compile_program(
+                src,
+                strategy=Strategy.COMPILE_TIME,
+                opt_level=OptLevel.STRIPMINE,
+                entry_shapes={"Old": ("N", "N")},
+                assume_nprocs_min=2,
+            )
+            results[label] = execute(
+                compiled, 4,
+                inputs={"Old": make_full((n, n), 1)},
+                params={"N": n},
+                machine=FREE,
+                extra_globals={"blksize": 4},
+            )
+            assert results[label].value.to_nested() == reference_rows(
+                n, [[1] * n for _ in range(n)]
+            )
+        assert results["reversed"].total_messages > 3 * results["normal"].total_messages
+
+    def test_illegal_when_distance_would_go_negative(self):
+        source = """
+        param N;
+        map A by wrapped_cols;
+        procedure f(A: matrix) {
+            for j = 2 to N {
+                for i = 1 to N - 1 {
+                    A[i, j] = A[i + 1, j - 1];
+                }
+            }
+        }
+        """
+        # Dependence distance (1, -1): after the swap it becomes (-1, 1),
+        # lexicographically negative — interchange must refuse.
+        with pytest.raises(TransformError):
+            interchange(parse_program(source), "f")
+
+    def test_no_nest_found(self):
+        source = "procedure f() { let x = 1; }"
+        with pytest.raises(TransformError, match="no interchangeable"):
+            interchange(parse_program(source), "f")
+
+
+class TestPlacement:
+    def _compiled(self):
+        return compile_program(triangular.SOURCE, strategy=Strategy.COMPILE_TIME)
+
+    def test_results_identical_under_any_placement(self):
+        compiled = self._compiled()
+        n, nprocesses = 12, 8
+        base = execute(compiled, nprocesses, params={"N": n}, machine=FREE)
+        dealt = execute(
+            compiled, nprocesses, params={"N": n}, machine=FREE,
+            placement=round_robin_placement(nprocesses, 2).placement,
+        )
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                assert base.value.is_defined(i, j) == dealt.value.is_defined(i, j)
+
+    def test_colocated_messages_leave_the_network(self):
+        compiled = compile_program(
+            SOURCE,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n, nprocesses = 10, 4
+        kwargs = dict(
+            inputs={"Old": make_full((n, n), 1)},
+            params={"N": n},
+            machine=MachineParams.ipsc2(),
+        )
+        spread = execute(compiled, nprocesses, **kwargs)
+        packed = execute(
+            compiled, nprocesses,
+            placement=[0, 0, 1, 1],
+            **kwargs,
+        )
+        assert packed.total_messages < spread.total_messages
+        assert packed.value.to_nested() == spread.value.to_nested()
+
+    def test_makespan_uses_cpu_clocks(self):
+        compiled = self._compiled()
+        out = execute(
+            compiled, 8, params={"N": 12}, machine=FREE,
+            placement=[0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        assert len(out.sim.cpu_finish_us) == 2
+
+
+class TestLoadBalancing:
+    def test_rebalance_levels_loads(self):
+        busy = [10.0, 20.0, 30.0, 100.0]
+        plan = rebalance(busy, 2)
+        loads = [0.0, 0.0]
+        for k, cpu in enumerate(plan.placement):
+            loads[cpu] += busy[k]
+        assert max(loads) <= 100.0  # the heavy process alone on one cpu
+        assert imbalance(loads) < imbalance([30.0, 130.0])
+
+    def test_migration_cost_charged_for_moves(self):
+        busy = [1.0, 1.0, 100.0, 1.0]
+        current = [0, 0, 0, 0]
+        plan = rebalance(busy, 2, current=current, data_bytes=[400] * 4,
+                         migration_us_per_byte=0.5)
+        assert plan.moved
+        assert plan.migration_us == pytest.approx(len(plan.moved) * 200.0)
+
+    def test_helpers(self):
+        assert round_robin_placement(5, 2).placement == [0, 1, 0, 1, 0]
+        assert block_placement(5, 2).placement == [0, 0, 0, 1, 1]
+        assert imbalance([2.0, 2.0]) == 1.0
+        assert imbalance([]) == 1.0
+
+    def test_end_to_end_rebalancing_improves_triangular(self):
+        """The §5.4 scheme: observe, move processes with their data, rerun."""
+        compiled = compile_program(
+            triangular.SOURCE, strategy=Strategy.COMPILE_TIME
+        )
+        n, nprocesses, ncpus = 32, 16, 4
+        machine = MachineParams.ipsc2()
+
+        blocked = block_placement(nprocesses, ncpus)
+        first = execute(
+            compiled, nprocesses, params={"N": n}, machine=machine,
+            placement=blocked.placement,
+        )
+        plan = rebalance(
+            first.sim.busy_times_us, ncpus, current=blocked.placement
+        )
+        second = execute(
+            compiled, nprocesses, params={"N": n}, machine=machine,
+            placement=plan.placement,
+        )
+        assert imbalance(second.sim.cpu_busy_us) < imbalance(first.sim.cpu_busy_us)
+        assert second.makespan_us < first.makespan_us

@@ -1,0 +1,231 @@
+"""Tests for run-time resolution (§3.1)."""
+
+import pytest
+
+from repro.core.compiler import Strategy, compile_program
+from repro.core.runner import execute
+from repro.errors import CompileError
+from repro.machine import MachineParams
+from repro.spmd import pretty_program
+from repro.spmd.layout import make_full
+
+from tests.core.helpers import FREE, compile_gs, gs_reference, run_gs
+
+FIG4 = """
+map a on proc(1);
+map b on proc(2);
+map c on proc(3);
+procedure main() returns int {
+    let a = 5;
+    let b = 7;
+    let c = a + b;
+    return c;
+}
+"""
+
+
+class TestFigure4:
+    def test_result(self):
+        compiled = compile_program(FIG4, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 4, machine=FREE)
+        assert out.value == 12
+
+    def test_messages_two_coerces_plus_return_broadcast(self):
+        compiled = compile_program(FIG4, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 4, machine=FREE)
+        # coerce(a, P1, P3) + coerce(b, P2, P3) + broadcast of the result.
+        assert out.total_messages == 2 + 3
+
+    def test_generated_shape_matches_figure4b(self):
+        compiled = compile_program(FIG4, strategy=Strategy.RUNTIME)
+        text = pretty_program(compiled.program)
+        assert "if (p == 1)" in text
+        assert "if (p == 2)" in text
+        assert "coerce(a, 1, 3)" in text
+        assert "coerce(b, 2, 3)" in text
+
+    def test_every_processor_runs_same_program(self):
+        # SPMD: one program; the coerces appear once, unguarded.
+        compiled = compile_program(FIG4, strategy=Strategy.RUNTIME)
+        text = pretty_program(compiled.program)
+        assert text.count("coerce(") == 2
+
+
+class TestGaussSeidel:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7])
+    def test_correct_any_ring_size(self, nprocs):
+        compiled = compile_gs(Strategy.RUNTIME)
+        n = 9
+        out = run_gs(compiled, n, nprocs)
+        assert out.value.to_nested() == gs_reference(n)
+
+    def test_message_count_formula(self):
+        # Two remote operands per interior element (paper footnote 3:
+        # 31,752 = 2 * 126^2 at N=128).
+        compiled = compile_gs(Strategy.RUNTIME)
+        for n, nprocs in [(8, 2), (10, 4)]:
+            out = run_gs(compiled, n, nprocs)
+            assert out.total_messages == 2 * (n - 2) ** 2
+
+    def test_single_processor_no_messages(self):
+        compiled = compile_gs(Strategy.RUNTIME)
+        out = run_gs(compiled, 8, 1)
+        assert out.total_messages == 0
+
+    def test_every_processor_examines_every_iteration(self):
+        # Run-time resolution burns guard time on every processor: its
+        # busy time is roughly independent of which processor we look at.
+        compiled = compile_gs(Strategy.RUNTIME)
+        machine = MachineParams.free_messages().with_(op_us=1.0)
+        out = run_gs(compiled, 10, 4, machine=machine)
+        busy = out.sim.busy_times_us
+        assert max(busy) < 2.0 * min(busy)
+
+
+class TestScalarPrograms:
+    def test_chain_of_owned_scalars(self):
+        source = """
+        map a on proc(0);
+        map b on proc(1);
+        map c on proc(2);
+        procedure main() returns int {
+            let a = 3;
+            let b = a * 2;
+            let c = b + a;
+            return c;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 3, machine=FREE)
+        assert out.value == 9
+
+    def test_replicated_scalar_from_owned_broadcasts(self):
+        source = """
+        map a on proc(1);
+        map r on all;
+        procedure main() returns int {
+            let a = 10;
+            let r = a + 1;
+            return r;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 4, machine=FREE)
+        assert out.value == 11
+        # a broadcast to 3 others, result broadcast is free (already ALL)
+        assert out.total_messages == 3
+
+    def test_conditional_on_owned_scalar(self):
+        source = """
+        map a on proc(1);
+        map r on proc(2);
+        procedure main() returns int {
+            let a = 10;
+            let r = 0;
+            if a > 5 { r = 1; } else { r = 2; }
+            return r;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 3, machine=FREE)
+        assert out.value == 1
+
+    def test_loop_accumulation_on_owner(self):
+        source = """
+        map acc on proc(1);
+        procedure main() returns int {
+            let acc = 0;
+            for i = 1 to 5 { acc = acc + i; }
+            return acc;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 2, machine=FREE)
+        assert out.value == 15
+
+    def test_recursion_through_owned_scalars(self):
+        source = """
+        procedure fib(n: int) returns int {
+            if n <= 1 { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        procedure main() returns int { return fib(8); }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME,
+                                   entry="main")
+        out = execute(compiled, 2, machine=FREE)
+        assert out.value == 21
+
+
+class TestVectorPrograms:
+    def test_wrapped_vector_sum(self):
+        source = """
+        param N;
+        map v by wrapped;
+        map acc on proc(0);
+        procedure main() returns int {
+            let v = vector(N);
+            for i = 1 to N { v[i] = i; }
+            let acc = 0;
+            for i = 1 to N { acc = acc + v[i]; }
+            return acc;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 3, params={"N": 10}, machine=FREE)
+        assert out.value == 55
+
+    def test_block_vector(self):
+        source = """
+        param N;
+        map v by block;
+        map acc on proc(0);
+        procedure main() returns int {
+            let v = vector(N);
+            for i = 1 to N { v[i] = i * i; }
+            let acc = 0;
+            for i = 1 to N { acc = acc + v[i]; }
+            return acc;
+        }
+        """
+        compiled = compile_program(source, strategy=Strategy.RUNTIME)
+        out = execute(compiled, 4, params={"N": 9}, machine=FREE)
+        assert out.value == sum(i * i for i in range(1, 10))
+
+
+class TestErrors:
+    def test_optimizations_rejected_for_runtime(self):
+        from repro.core.compiler import OptLevel
+
+        with pytest.raises(CompileError, match="compile-time"):
+            compile_program(
+                FIG4, strategy=Strategy.RUNTIME, opt_level=OptLevel.VECTORIZE
+            )
+
+    def test_entry_array_needs_shape(self):
+        from repro.apps.gauss_seidel import SOURCE
+
+        with pytest.raises(CompileError, match="shape"):
+            compile_program(SOURCE, strategy=Strategy.RUNTIME)
+
+    def test_missing_input_array(self):
+        compiled = compile_gs(Strategy.RUNTIME)
+        with pytest.raises(CompileError, match="missing input"):
+            execute(compiled, 2, params={"N": 8}, machine=FREE)
+
+    def test_missing_param(self):
+        compiled = compile_gs(Strategy.RUNTIME)
+        with pytest.raises(CompileError, match="missing values"):
+            execute(compiled, 2, inputs={"Old": make_full((8, 8), 1)},
+                    machine=FREE)
+
+    def test_wrong_input_shape(self):
+        compiled = compile_gs(Strategy.RUNTIME)
+        with pytest.raises(CompileError, match="shape"):
+            execute(
+                compiled,
+                2,
+                inputs={"Old": make_full((4, 4), 1)},
+                params={"N": 8},
+                machine=FREE,
+            )

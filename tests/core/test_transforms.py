@@ -1,0 +1,197 @@
+"""Tests for the message optimizations (§4, Appendix A)."""
+
+import pytest
+
+from repro.core.compiler import OptLevel, Strategy
+from repro.machine import MachineParams
+from repro.spmd import ir, pretty_program
+
+from tests.core.helpers import FREE, compile_gs, gs_reference, run_gs
+
+
+def messages(opt_level, n, nprocs, blksize=4, assume=2):
+    compiled = compile_gs(opt_level=opt_level, assume_nprocs_min=assume)
+    out = run_gs(compiled, n, nprocs, blksize=blksize)
+    assert out.value.to_nested() == gs_reference(n)
+    return out.total_messages
+
+
+class TestVectorize:
+    """Optimized I (A.2): one message per Old column."""
+
+    def test_message_count(self):
+        n = 10
+        # Old columns: one vector message per computed column's supplier
+        # (N-2 of them); New values still go one element per message.
+        assert messages(OptLevel.VECTORIZE, n, 4) == (n - 2) + (n - 2) ** 2
+
+    def test_structure_has_vector_old_send(self):
+        compiled = compile_gs(opt_level=OptLevel.VECTORIZE, assume_nprocs_min=2)
+        text = pretty_program(compiled.program)
+        assert "svec_" in text  # gathered Old column buffer
+        assert "rvec_" in text  # received Old column buffer
+
+    def test_new_sends_not_vectorized(self):
+        # "the old values are not changed during the execution of the
+        # loop" — New is written in the loop, so it must stay element-wise.
+        compiled = compile_gs(opt_level=OptLevel.VECTORIZE, assume_nprocs_min=2)
+        entry = compiled.program.entry_proc()
+        scalar_sends = [
+            s for s in ir.walk_stmts(entry.body) if isinstance(s, ir.NSend)
+        ]
+        assert len(scalar_sends) == 1  # the New element send survives
+
+    def test_correct_across_ring_sizes(self):
+        compiled = compile_gs(opt_level=OptLevel.VECTORIZE)
+        for nprocs in (1, 2, 3, 5):
+            out = run_gs(compiled, 9, nprocs)
+            assert out.value.to_nested() == gs_reference(9)
+
+    def test_bytes_conserved_for_old_channel(self):
+        # Vectorization repackages the same values: byte totals shrink only
+        # by the per-message start-up, not the payload.
+        n = 10
+        plain = compile_gs(assume_nprocs_min=2)
+        vec = compile_gs(opt_level=OptLevel.VECTORIZE, assume_nprocs_min=2)
+        out_plain = run_gs(plain, n, 4)
+        out_vec = run_gs(vec, n, 4)
+        assert out_vec.sim.stats.total_bytes == out_plain.sim.stats.total_bytes
+
+
+class TestJam:
+    """Optimized II (A.3): compute and New-send loops fused."""
+
+    def test_message_count_unchanged(self):
+        n = 10
+        assert messages(OptLevel.JAM, n, 4) == messages(OptLevel.VECTORIZE, n, 4)
+
+    def test_fused_loop_contains_compute_and_send(self):
+        compiled = compile_gs(opt_level=OptLevel.JAM, assume_nprocs_min=2)
+        entry = compiled.program.entry_proc()
+        for stmt in ir.walk_stmts(entry.body):
+            if isinstance(stmt, ir.NFor) and stmt.var == "i":
+                kinds = {type(s).__name__ for s in ir.walk_stmts(stmt.body)}
+                if "NSend" in kinds and "NAssign" in kinds:
+                    return  # found the fused pipeline loop
+        pytest.fail("no fused compute+send loop found")
+
+    def test_pipelining_reduces_makespan(self):
+        # The whole point: values leave as soon as they are computed.
+        machine = MachineParams(
+            send_startup_us=100.0, recv_overhead_us=20.0, per_byte_us=0.05,
+            latency_us=5.0, op_us=4.0, mem_us=2.0,
+        )
+        n, nprocs = 24, 4
+        t_vec = run_gs(
+            compile_gs(opt_level=OptLevel.VECTORIZE, assume_nprocs_min=2),
+            n, nprocs, machine=machine,
+        ).makespan_us
+        t_jam = run_gs(
+            compile_gs(opt_level=OptLevel.JAM, assume_nprocs_min=2),
+            n, nprocs, machine=machine,
+        ).makespan_us
+        assert t_jam < t_vec
+
+    def test_correct_across_ring_sizes(self):
+        compiled = compile_gs(opt_level=OptLevel.JAM)
+        for nprocs in (1, 2, 4, 8):
+            out = run_gs(compiled, 9, nprocs)
+            assert out.value.to_nested() == gs_reference(9)
+
+
+class TestStripmine:
+    """Optimized III (A.4): New values travel in blocks of blksize."""
+
+    def test_message_count(self):
+        n, blk = 10, 3
+        new_blocks = -(-(n - 2) // blk)
+        expected = (n - 2) + (n - 2) * new_blocks
+        assert messages(OptLevel.STRIPMINE, n, 4, blksize=blk) == expected
+
+    def test_matches_handwritten_count(self):
+        from repro.apps.gauss_seidel import handwritten_message_count
+
+        n, blk = 12, 4
+        assert messages(OptLevel.STRIPMINE, n, 4, blksize=blk) == (
+            handwritten_message_count(n, blk, 4)
+        )
+
+    def test_paper_footnote_at_full_scale_formula(self):
+        from repro.apps.gauss_seidel import handwritten_message_count
+
+        # 2142 at N=128, blksize 8 — Optimized III hits the handwritten
+        # figure exactly (verified at small scale by simulation above).
+        assert handwritten_message_count(128, 8, 32) == 2142
+
+    @pytest.mark.parametrize("blksize", [1, 2, 5, 64])
+    def test_any_blocksize_correct(self, blksize):
+        compiled = compile_gs(opt_level=OptLevel.STRIPMINE)
+        out = run_gs(compiled, 11, 4, blksize=blksize)
+        assert out.value.to_nested() == gs_reference(11)
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+    def test_any_ring_size_correct(self, nprocs):
+        compiled = compile_gs(opt_level=OptLevel.STRIPMINE)
+        out = run_gs(compiled, 10, nprocs, blksize=3)
+        assert out.value.to_nested() == gs_reference(10)
+
+    def test_structure_has_block_buffers(self):
+        compiled = compile_gs(opt_level=OptLevel.STRIPMINE, assume_nprocs_min=2)
+        text = pretty_program(compiled.program)
+        assert "rblk_" in text
+        assert "sblk_" in text
+        assert "blksize" in text
+
+
+class TestProgression:
+    """The paper's headline: each optimization strictly helps (Figure 7)."""
+
+    MACHINE = MachineParams(
+        send_startup_us=200.0, recv_overhead_us=50.0, per_byte_us=0.1,
+        latency_us=5.0, op_us=2.0, mem_us=1.0,
+    )
+
+    def test_ordering_runtime_to_optIII(self):
+        n, nprocs, blk = 24, 4, 4
+        times = {}
+        for label, strat, lvl in [
+            ("runtime", Strategy.RUNTIME, OptLevel.NONE),
+            ("ctr", Strategy.COMPILE_TIME, OptLevel.NONE),
+            ("optI", Strategy.COMPILE_TIME, OptLevel.VECTORIZE),
+            ("optII", Strategy.COMPILE_TIME, OptLevel.JAM),
+            ("optIII", Strategy.COMPILE_TIME, OptLevel.STRIPMINE),
+        ]:
+            compiled = compile_gs(strat, lvl, assume_nprocs_min=2)
+            out = run_gs(compiled, n, nprocs, blksize=blk, machine=self.MACHINE)
+            assert out.value.to_nested() == gs_reference(n)
+            times[label] = out.makespan_us
+        assert times["runtime"] >= times["ctr"]
+        assert times["ctr"] > times["optI"]
+        assert times["optI"] > times["optII"]
+        assert times["optII"] > times["optIII"]
+
+    def test_optIII_close_to_handwritten(self):
+        from repro.apps.gauss_seidel import (
+            DISTRIBUTION,
+            handwritten_wavefront,
+        )
+        from repro.spmd.interp import run_spmd
+        from repro.spmd.layout import gather, make_full, scatter
+
+        n, nprocs, blk = 24, 4, 4
+        out = run_gs(
+            compile_gs(opt_level=OptLevel.STRIPMINE, assume_nprocs_min=2),
+            n, nprocs, blksize=blk, machine=self.MACHINE,
+        )
+        parts = scatter(make_full((n, n), 1), DISTRIBUTION, nprocs)
+        hand = run_spmd(
+            handwritten_wavefront(),
+            nprocs,
+            lambda rank: [parts[rank]],
+            machine=self.MACHINE,
+            globals_={"N": n, "blksize": blk, "c": 1, "bval": 1},
+        )
+        assert out.total_messages == hand.total_messages
+        # Within 2x of handwritten (the paper aims for parity; our compiled
+        # code carries a few extra guard tests per element).
+        assert out.makespan_us < 2.0 * hand.makespan_us

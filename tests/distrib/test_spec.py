@@ -1,0 +1,124 @@
+"""DecompositionSpec tests, including source-level map declarations."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.distrib import (
+    DecompositionSpec,
+    OnAll,
+    OnProc,
+    WrappedCols,
+)
+from repro.distrib.spec import source_expr_to_sym
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.typecheck import check_program
+from repro.symbolic import Const, Var, simplify
+
+
+def spec_of(source):
+    return DecompositionSpec.from_program(check_program(parse_program(source)))
+
+
+class TestFromProgram:
+    def test_gauss_seidel_spec(self):
+        from tests.lang.test_parser import GAUSS_SEIDEL
+
+        spec = spec_of(GAUSS_SEIDEL)
+        assert isinstance(spec.distribution_of("Old"), WrappedCols)
+        assert isinstance(spec.distribution_of("New"), WrappedCols)
+        assert spec.placement_of("c").is_replicated()
+
+    def test_figure4_spec(self):
+        from tests.lang.test_parser import FIGURE4
+
+        spec = spec_of(FIGURE4)
+        assert spec.placement_of("a") == OnProc(1)
+        assert spec.placement_of("b") == OnProc(2)
+        assert spec.placement_of("c") == OnProc(3)
+
+    def test_proc_expression_with_const(self):
+        spec = spec_of(
+            "const K = 2; map a on proc(K + 1);"
+            "procedure f(a: int) { }"
+        )
+        placement = spec.placement_of("a")
+        assert simplify(placement.proc) == Const(3)
+
+    def test_unmapped_scalar_defaults_to_all(self):
+        spec = spec_of("procedure f(x: int) { }")
+        assert spec.placement_of("x").is_replicated()
+
+    def test_unmapped_array_is_error_on_query(self):
+        spec = spec_of("procedure f(A: matrix) { }")
+        with pytest.raises(MappingError, match="no distribution"):
+            spec.distribution_of("A")
+
+    def test_array_on_all_rejected(self):
+        with pytest.raises(MappingError, match="distribution"):
+            spec_of("map A on all; procedure f(A: matrix) { }")
+
+    def test_array_on_proc_rejected(self):
+        with pytest.raises(MappingError, match="distribution"):
+            spec_of("map A on proc(0); procedure f(A: matrix) { }")
+
+    def test_scalar_with_distribution_rejected(self):
+        with pytest.raises(MappingError, match="scalar"):
+            spec_of("map x by wrapped_cols; procedure f(x: int) { }")
+
+    def test_vector_with_matrix_distribution_rejected(self):
+        with pytest.raises(MappingError, match="rank"):
+            spec_of("map v by wrapped_cols; procedure f(v: vector) { }")
+
+    def test_distribution_args_must_be_const(self):
+        with pytest.raises(MappingError, match="constants"):
+            spec_of(
+                "param B; map A by block_cyclic_cols(B);"
+                "procedure f(A: matrix) { }"
+            )
+
+
+class TestQueries:
+    def test_scalar_asked_as_array(self):
+        spec = DecompositionSpec().place("x", OnAll())
+        with pytest.raises(MappingError, match="scalar"):
+            spec.distribution_of("x")
+
+    def test_array_asked_as_scalar(self):
+        spec = DecompositionSpec().distribute("A", WrappedCols())
+        with pytest.raises(MappingError, match="array"):
+            spec.placement_of("A")
+
+    def test_has_distribution(self):
+        spec = DecompositionSpec().distribute("A", WrappedCols())
+        assert spec.has_distribution("A")
+        assert not spec.has_distribution("B")
+
+    def test_substituted_rewrites_onproc(self):
+        spec = DecompositionSpec().place("a", OnProc("P")).place("b", OnAll())
+        out = spec.substituted({"P": Const(2)})
+        assert out.placement_of("a") == OnProc(2)
+        assert out.placement_of("b").is_replicated()
+        # original untouched
+        assert spec.placement_of("a") == OnProc(Var("P"))
+
+
+class TestSourceExprToSym:
+    def test_arith(self):
+        e = parse_expr("(j - 1) mod S")
+        out = source_expr_to_sym(e, {})
+        assert out.evaluate({"j": 5, "S": 4}) == 0
+
+    def test_const_folding(self):
+        e = parse_expr("N div 2")
+        out = source_expr_to_sym(e, {"N": 8})
+        assert simplify(out) == Const(4)
+
+    def test_real_const_rejected(self):
+        e = parse_expr("x")
+        with pytest.raises(MappingError, match="integer"):
+            source_expr_to_sym(e, {"x": 2.5})
+
+    def test_unsupported_shape_rejected(self):
+        e = parse_expr("A[1]")
+        with pytest.raises(MappingError, match="not allowed"):
+            source_expr_to_sym(e, {})

@@ -1,0 +1,219 @@
+"""Differential testing: every compiled configuration must agree with the
+sequential reference interpreter on the same program and input.
+
+This is the library's master correctness property. Hypothesis drives
+random stencil shapes, distributions, grid sizes, ring sizes, block
+sizes, and optimization levels through the full pipeline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.lang import check_program, parse_program, run_sequential
+from repro.machine import MachineParams
+from repro.spmd.layout import make_full
+
+FREE = MachineParams.free_messages()
+
+# A family of first-order stencils: New[i,j] = c0*Old[i+di0, j+dj0] + ...
+# Offsets are drawn so all reads stay in bounds for the loop region.
+_offsets = st.tuples(st.integers(-1, 1), st.integers(-1, 1))
+
+
+def stencil_source(dist: str, taps: list[tuple[int, int]]) -> str:
+    terms = " + ".join(
+        f"Old[i + {di}, j + {dj}]".replace("+ -", "- ") for di, dj in taps
+    )
+    return f"""
+    param N;
+    map Old by {dist};
+    map New by {dist};
+    procedure step(Old: matrix) returns matrix {{
+        let New = matrix(N, N);
+        for j = 2 to N - 1 {{
+            for i = 2 to N - 1 {{
+                New[i, j] = {terms};
+            }}
+        }}
+        return New;
+    }}
+    """
+
+
+def sequential_answer(source: str, n: int, fill):
+    checked = check_program(parse_program(source))
+    old = make_full((n, n), fill, name="Old")
+    result = run_sequential(checked, "step", args=[old], params={"N": n})
+    return result.value.to_nested()
+
+
+def compiled_answer(source, n, nprocs, strategy, opt_level, blksize, fill):
+    compiled = compile_program(
+        source,
+        strategy=strategy,
+        opt_level=opt_level,
+        entry_shapes={"Old": ("N", "N")},
+    )
+    old = make_full((n, n), fill, name="Old")
+    out = execute(
+        compiled,
+        nprocs,
+        inputs={"Old": old},
+        params={"N": n},
+        machine=FREE,
+        extra_globals={"blksize": blksize},
+    )
+    return out.value.to_nested()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dist=st.sampled_from(["wrapped_cols", "wrapped_rows", "block_cols", "block_rows"]),
+    taps=st.lists(_offsets, min_size=1, max_size=4),
+    n=st.integers(5, 12),
+    nprocs=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_all_old_stencils_compile_time(dist, taps, n, nprocs, seed):
+    source = stencil_source(dist, taps)
+    fill = lambda i, j: (i * 31 + j * 17 + seed) % 97  # noqa: E731
+    expected = sequential_answer(source, n, fill)
+    got = compiled_answer(
+        source, n, nprocs, Strategy.COMPILE_TIME, OptLevel.NONE, 4, fill
+    )
+    assert got == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    dist=st.sampled_from(["wrapped_cols", "block_cols"]),
+    taps=st.lists(_offsets, min_size=1, max_size=3),
+    n=st.integers(5, 10),
+    nprocs=st.integers(1, 4),
+)
+def test_all_old_stencils_runtime(dist, taps, n, nprocs):
+    source = stencil_source(dist, taps)
+    fill = lambda i, j: i + j  # noqa: E731
+    expected = sequential_answer(source, n, fill)
+    got = compiled_answer(
+        source, n, nprocs, Strategy.RUNTIME, OptLevel.NONE, 4, fill
+    )
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(5, 14),
+    nprocs=st.integers(1, 6),
+    blksize=st.integers(1, 16),
+    level=st.sampled_from(
+        [OptLevel.NONE, OptLevel.VECTORIZE, OptLevel.JAM, OptLevel.STRIPMINE]
+    ),
+)
+def test_gauss_seidel_all_levels(n, nprocs, blksize, level):
+    """The wavefront program (flow dependences!) at every optimization
+    level, any ring size, any block size."""
+    from repro.apps.gauss_seidel import SOURCE
+
+    checked = check_program(parse_program(SOURCE))
+    old = make_full((n, n), 1, name="Old")
+    expected = run_sequential(
+        checked, "gs_iteration", args=[old], params={"N": n}
+    ).value.to_nested()
+    compiled = compile_program(
+        SOURCE,
+        strategy=Strategy.COMPILE_TIME,
+        opt_level=level,
+        entry_shapes={"Old": ("N", "N")},
+    )
+    out = execute(
+        compiled,
+        nprocs,
+        inputs={"Old": make_full((n, n), 1, name="Old")},
+        params={"N": n},
+        machine=FREE,
+        extra_globals={"blksize": blksize},
+    )
+    assert out.value.to_nested() == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(6, 12),
+    nprocs=st.integers(2, 5),
+    data=st.data(),
+)
+def test_random_placement_preserves_results(n, nprocs, data):
+    """Packing processes onto fewer processors never changes values."""
+    from repro.apps.gauss_seidel import SOURCE
+
+    ncpus = data.draw(st.integers(1, nprocs))
+    placement = [
+        data.draw(st.integers(0, ncpus - 1), label=f"cpu[{k}]")
+        for k in range(nprocs)
+    ]
+    placement[0] = ncpus - 1  # make sure every cpu index <= max appears
+    compiled = compile_program(
+        SOURCE,
+        strategy=Strategy.COMPILE_TIME,
+        entry_shapes={"Old": ("N", "N")},
+    )
+    kwargs = dict(
+        inputs={"Old": make_full((n, n), 1, name="Old")},
+        params={"N": n},
+        machine=FREE,
+    )
+    base = execute(compiled, nprocs, **kwargs)
+    packed = execute(compiled, nprocs, placement=placement, **kwargs)
+    assert packed.value.to_nested() == base.value.to_nested()
+
+
+class TestSequentialEquivalenceOfStrategies:
+    """Both strategies and the handwritten program on one fixed scenario."""
+
+    @pytest.mark.parametrize("nprocs", [1, 3, 4])
+    def test_three_way_agreement(self, nprocs):
+        from repro.apps.gauss_seidel import (
+            DISTRIBUTION,
+            SOURCE,
+            handwritten_wavefront,
+        )
+        from repro.spmd.interp import run_spmd
+        from repro.spmd.layout import gather, scatter
+
+        n = 11
+        checked = check_program(parse_program(SOURCE))
+        old = make_full((n, n), 1, name="Old")
+        expected = run_sequential(
+            checked, "gs_iteration", args=[old], params={"N": n}
+        ).value.to_nested()
+
+        answers = {}
+        for strategy in (Strategy.RUNTIME, Strategy.COMPILE_TIME):
+            compiled = compile_program(
+                SOURCE, strategy=strategy, entry_shapes={"Old": ("N", "N")}
+            )
+            out = execute(
+                compiled, nprocs,
+                inputs={"Old": make_full((n, n), 1, name="Old")},
+                params={"N": n},
+                machine=FREE,
+            )
+            answers[strategy.value] = out.value.to_nested()
+
+        parts = scatter(make_full((n, n), 1), DISTRIBUTION, nprocs)
+        hand = run_spmd(
+            handwritten_wavefront(), nprocs,
+            lambda rank: [parts[rank]],
+            machine=FREE,
+            globals_={"N": n, "blksize": 4, "c": 1, "bval": 1},
+        )
+        answers["handwritten"] = gather(
+            hand.returned, DISTRIBUTION, nprocs, (n, n)
+        ).to_nested()
+
+        for name, got in answers.items():
+            assert got == expected, name

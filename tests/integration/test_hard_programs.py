@@ -1,0 +1,164 @@
+"""Programs that stress the compiler's harder paths: 1-D flow chains,
+block-cyclic distributions, and deep fallbacks."""
+
+import pytest
+
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.lang import check_program, parse_program, run_sequential
+from repro.machine import MachineParams
+from repro.spmd.layout import make_full
+
+FREE = MachineParams.free_messages()
+
+SCAN = """
+-- A prefix chain: w[i] depends on w[i-1] (pure flow dependence).
+param N;
+map v by wrapped;
+map w by wrapped;
+procedure scan(v: vector) returns vector {
+    let w = vector(N);
+    w[1] = v[1];
+    for i = 2 to N {
+        w[i] = w[i - 1] + v[i];
+    }
+    return w;
+}
+"""
+
+GS_BLOCK_CYCLIC = """
+param N;
+const c = 1;
+const bval = 1;
+map Old by block_cyclic_cols(2);
+map New by block_cyclic_cols(2);
+procedure gs_iteration(Old: matrix) returns matrix {
+    let New = matrix(N, N);
+    call init_boundary(New);
+    for j = 2 to N - 1 {
+        for i = 2 to N - 1 {
+            New[i, j] = c * (New[i - 1, j] + New[i, j - 1]
+                             + Old[i + 1, j] + Old[i, j + 1]);
+        }
+    }
+    return New;
+}
+procedure init_boundary(A: matrix) {
+    for i = 1 to N { A[i, 1] = bval; A[i, N] = bval; }
+    for j = 2 to N - 1 { A[1, j] = bval; A[N, j] = bval; }
+}
+"""
+
+
+class TestScanChain:
+    def expected(self, n):
+        acc, out = 0, []
+        for i in range(1, n + 1):
+            acc += i * i
+            out.append(acc)
+        return out
+
+    @pytest.mark.parametrize("strategy", [Strategy.RUNTIME, Strategy.COMPILE_TIME])
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_scan_correct(self, strategy, nprocs):
+        compiled = compile_program(
+            SCAN, strategy=strategy, entry_shapes={"v": ("N",)}
+        )
+        n = 9
+        v = make_full((n,), lambda i: i * i, name="v")
+        out = execute(
+            compiled, nprocs, inputs={"v": v}, params={"N": n}, machine=FREE
+        )
+        assert out.value.to_list() == self.expected(n)
+
+    def test_scan_is_serial_chain(self):
+        """Each element needs its predecessor from another processor —
+        the timing must grow with one message per element, no overlap."""
+        compiled = compile_program(
+            SCAN, strategy=Strategy.COMPILE_TIME, entry_shapes={"v": ("N",)},
+            assume_nprocs_min=2,
+        )
+        machine = MachineParams.ipsc2()
+        n = 16
+        v = make_full((n,), lambda i: i, name="v")
+        t2 = execute(compiled, 2, inputs={"v": v}, params={"N": n},
+                     machine=machine).makespan_us
+        t4 = execute(compiled, 4, inputs={"v": v}, params={"N": n},
+                     machine=machine).makespan_us
+        # More processors cannot help a serial chain.
+        assert t4 >= 0.9 * t2
+
+    def test_scan_message_count(self):
+        compiled = compile_program(
+            SCAN, strategy=Strategy.COMPILE_TIME, entry_shapes={"v": ("N",)}
+        )
+        n = 9
+        v = make_full((n,), lambda i: i, name="v")
+        out = execute(compiled, 3, inputs={"v": v}, params={"N": n},
+                      machine=FREE)
+        # One message per chain link: w[i-1] always lives on the previous
+        # processor (wrapped elements, S >= 2).
+        assert out.total_messages == n - 1
+
+
+class TestBlockCyclic:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3])
+    def test_gauss_seidel_block_cyclic(self, nprocs):
+        checked = check_program(parse_program(GS_BLOCK_CYCLIC))
+        n = 10
+        old = make_full((n, n), 1, name="Old")
+        expected = run_sequential(
+            checked, "gs_iteration", args=[old], params={"N": n}
+        ).value.to_nested()
+        compiled = compile_program(
+            GS_BLOCK_CYCLIC,
+            strategy=Strategy.COMPILE_TIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        out = execute(
+            compiled, nprocs,
+            inputs={"Old": make_full((n, n), 1, name="Old")},
+            params={"N": n},
+            machine=FREE,
+        )
+        assert out.value.to_nested() == expected
+
+    def test_runtime_strategy_agrees(self):
+        checked = check_program(parse_program(GS_BLOCK_CYCLIC))
+        n = 8
+        old = make_full((n, n), 1, name="Old")
+        expected = run_sequential(
+            checked, "gs_iteration", args=[old], params={"N": n}
+        ).value.to_nested()
+        compiled = compile_program(
+            GS_BLOCK_CYCLIC,
+            strategy=Strategy.RUNTIME,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        out = execute(
+            compiled, 4,
+            inputs={"Old": make_full((n, n), 1, name="Old")},
+            params={"N": n},
+            machine=FREE,
+        )
+        assert out.value.to_nested() == expected
+
+    def test_block_cyclic_halves_neighbour_traffic(self):
+        """Width-2 blocks keep every other column-pair local, so the
+        block-cyclic run exchanges about half the messages of the
+        width-1 (wrapped) decomposition."""
+        n = 10
+        wrapped = GS_BLOCK_CYCLIC.replace("block_cyclic_cols(2)", "wrapped_cols")
+        counts = {}
+        for label, src in (("cyclic", wrapped), ("blockcyclic", GS_BLOCK_CYCLIC)):
+            compiled = compile_program(
+                src, strategy=Strategy.RUNTIME, entry_shapes={"Old": ("N", "N")}
+            )
+            out = execute(
+                compiled, 4,
+                inputs={"Old": make_full((n, n), 1, name="Old")},
+                params={"N": n},
+                machine=FREE,
+            )
+            counts[label] = out.total_messages
+        assert counts["blockcyclic"] < counts["cyclic"]

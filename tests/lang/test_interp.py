@@ -1,0 +1,229 @@
+"""Sequential reference interpreter tests."""
+
+import pytest
+
+from repro.errors import IStructureError, InterpError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.lang.interp import run_sequential
+from repro.runtime import IStructure
+
+from tests.lang.test_parser import FIGURE4, GAUSS_SEIDEL
+
+
+def run(source, entry="main", args=None, params=None):
+    checked = check_program(parse_program(source))
+    return run_sequential(checked, entry, args=args, params=params)
+
+
+class TestScalars:
+    def test_figure4_result(self):
+        assert run(FIGURE4).value == 12
+
+    def test_arithmetic(self):
+        source = """
+        procedure main() returns int {
+            return (10 - 4) * 3 div 2 mod 5;
+        }
+        """
+        assert run(source).value == (10 - 4) * 3 // 2 % 5
+
+    def test_real_division(self):
+        source = "procedure main() returns real { return 7 / 2; }"
+        assert run(source).value == 3.5
+
+    def test_builtins(self):
+        source = "procedure main() returns int { return min(3, max(1, 2)) + abs(-4); }"
+        assert run(source).value == 6
+
+    def test_mod_follows_divisor_sign(self):
+        source = "procedure main() returns int { return (0 - 1) mod 4; }"
+        assert run(source).value == 3
+
+    def test_scalar_reassignment(self):
+        source = """
+        procedure main() returns int {
+            let acc = 0;
+            for i = 1 to 5 { acc = acc + i; }
+            return acc;
+        }
+        """
+        assert run(source).value == 15
+
+
+class TestControlFlow:
+    def test_for_with_step(self):
+        source = """
+        procedure main() returns int {
+            let acc = 0;
+            for i = 1 to 10 by 3 { acc = acc + i; }
+            return acc;
+        }
+        """
+        assert run(source).value == 1 + 4 + 7 + 10
+
+    def test_empty_loop(self):
+        source = """
+        procedure main() returns int {
+            let acc = 0;
+            for i = 5 to 4 { acc = acc + 1; }
+            return acc;
+        }
+        """
+        assert run(source).value == 0
+
+    def test_non_positive_step_rejected(self):
+        source = "procedure main() { for i = 1 to 3 by 0 { } }"
+        with pytest.raises(InterpError, match="step"):
+            run(source)
+
+    def test_if_else(self):
+        source = """
+        procedure classify(x: int) returns int {
+            if x < 0 { return 0 - 1; }
+            else if x == 0 { return 0; }
+            else { return 1; }
+        }
+        procedure main() returns int {
+            return classify(0 - 5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert run(source).value == -100 + 0 + 9 // 9
+
+    def test_recursion(self):
+        source = """
+        procedure fib(n: int) returns int {
+            if n <= 1 { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        procedure main() returns int { return fib(10); }
+        """
+        assert run(source).value == 55
+
+    def test_call_depth_limited(self):
+        source = """
+        procedure loop(n: int) returns int { return loop(n + 1); }
+        procedure main() returns int { return loop(0); }
+        """
+        with pytest.raises(InterpError, match="depth"):
+            run(source)
+
+
+class TestIStructures:
+    def test_vector_roundtrip(self):
+        source = """
+        procedure main() returns int {
+            let v = vector(10);
+            for i = 1 to 10 { v[i] = i * i; }
+            let acc = 0;
+            for i = 1 to 10 { acc = acc + v[i]; }
+            return acc;
+        }
+        """
+        assert run(source).value == sum(i * i for i in range(1, 11))
+
+    def test_double_write_detected(self):
+        source = """
+        procedure main() {
+            let v = vector(3);
+            v[1] = 0;
+            v[1] = 1;
+        }
+        """
+        with pytest.raises(IStructureError, match="second write"):
+            run(source)
+
+    def test_undefined_read_detected(self):
+        source = """
+        procedure main() returns int {
+            let v = vector(3);
+            return v[2];
+        }
+        """
+        with pytest.raises(IStructureError, match="undefined"):
+            run(source)
+
+    def test_matrix_returned(self):
+        source = """
+        param N;
+        procedure main() returns matrix {
+            let A = matrix(N, N);
+            for i = 1 to N { for j = 1 to N { A[i, j] = i * 10 + j; } }
+            return A;
+        }
+        """
+        result = run(source, params={"N": 3})
+        assert isinstance(result.value, IStructure)
+        assert result.value.to_nested() == [
+            [11, 12, 13],
+            [21, 22, 23],
+            [31, 32, 33],
+        ]
+
+    def test_istructure_argument_shared(self):
+        source = """
+        procedure fill(v: vector) { v[1] = 42; }
+        procedure main() { }
+        """
+        checked = check_program(parse_program(source))
+        v = IStructure((3,), name="v")
+        run_sequential(checked, "fill", args=[v])
+        assert v.read(1) == 42
+
+
+class TestParams:
+    def test_param_binding(self):
+        source = "param N; procedure main() returns int { return N * 2; }"
+        assert run(source, params={"N": 21}).value == 42
+
+    def test_missing_param(self):
+        source = "param N; procedure main() returns int { return N; }"
+        with pytest.raises(InterpError, match="missing value"):
+            run(source)
+
+    def test_unknown_param_rejected(self):
+        source = "procedure main() { }"
+        with pytest.raises(InterpError, match="unknown param"):
+            run(source, params={"N": 4})
+
+
+def reference_gauss_seidel(n):
+    """Plain-Python Gauss-Seidel for cross-checking the interpreter."""
+    old = [[1] * n for _ in range(n)]
+    new = [[None] * n for _ in range(n)]
+    for k in range(n):
+        new[k][0] = 1
+        new[k][n - 1] = 1
+        new[0][k] = 1
+        new[n - 1][k] = 1
+    for j in range(1, n - 1):
+        for i in range(1, n - 1):
+            new[i][j] = (
+                new[i - 1][j] + new[i][j - 1] + old[i + 1][j] + old[i][j + 1]
+            )
+    return new
+
+
+class TestGaussSeidel:
+    @pytest.mark.parametrize("n", [4, 5, 8])
+    def test_matches_plain_python(self, n):
+        checked = check_program(parse_program(GAUSS_SEIDEL))
+        old = IStructure((n, n), name="Old")
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                old.write(i, j, 1)
+        result = run_sequential(
+            checked, "gs_iteration", args=[old], params={"N": n}
+        )
+        assert result.value.to_nested() == reference_gauss_seidel(n)
+
+    def test_op_count_positive(self):
+        checked = check_program(parse_program(GAUSS_SEIDEL))
+        old = IStructure((4, 4), name="Old")
+        for i in range(1, 5):
+            for j in range(1, 5):
+                old.write(i, j, 1)
+        result = run_sequential(
+            checked, "gs_iteration", args=[old], params={"N": 4}
+        )
+        assert result.op_count > 0

@@ -1,0 +1,81 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_empty_input_gives_eof(self):
+        assert kinds("") == [T.EOF]
+
+    def test_integers(self):
+        toks = tokenize("42 007")
+        assert [(t.kind, t.text) for t in toks[:-1]] == [
+            (T.INT, "42"),
+            (T.INT, "007"),
+        ]
+
+    def test_reals(self):
+        toks = tokenize("0.25 3.5")
+        assert [t.kind for t in toks[:-1]] == [T.REAL, T.REAL]
+
+    def test_integer_dot_not_real_without_fraction(self):
+        # "3." is INT then an error (no lone-dot token); check "3.x"
+        with pytest.raises(LexError):
+            tokenize("3.")
+
+    def test_keywords_vs_names(self):
+        toks = tokenize("for fortune procedure proc")
+        assert [t.kind for t in toks[:-1]] == [
+            T.KW_FOR,
+            T.NAME,
+            T.KW_PROCEDURE,
+            T.KW_PROC,
+        ]
+
+    def test_names_with_underscores(self):
+        toks = tokenize("init_boundary _x x1")
+        assert all(t.kind is T.NAME for t in toks[:-1])
+
+    def test_two_char_operators(self):
+        assert kinds("== != <= >=")[:-1] == [T.EQ, T.NE, T.LE, T.GE]
+
+    def test_one_char_operators(self):
+        assert kinds("< > = + - * / ( ) { } [ ] , ; :")[:-1] == [
+            T.LT, T.GT, T.ASSIGN, T.PLUS, T.MINUS, T.STAR, T.SLASH,
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET, T.RBRACKET,
+            T.COMMA, T.SEMI, T.COLON,
+        ]
+
+    def test_comments_ignored(self):
+        toks = tokenize("x -- the rest is comment ; { } \ny")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_minus_vs_comment(self):
+        toks = tokenize("a - b")
+        assert [t.kind for t in toks[:-1]] == [T.NAME, T.MINUS, T.NAME]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError, match="illegal"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab\n  @")
+        except LexError as err:
+            assert err.line == 2
+            assert err.column == 3
+        else:
+            pytest.fail("expected LexError")

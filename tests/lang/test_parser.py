@@ -1,0 +1,261 @@
+"""Parser tests, including the paper's example programs."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_program
+
+GAUSS_SEIDEL = """
+-- Figure 1: Gauss-Seidel iteration with wrapped-column decomposition
+param N;
+const c = 1;
+map Old by wrapped_cols;
+map New by wrapped_cols;
+map c on all;
+
+procedure gs_iteration(Old: matrix) returns matrix {
+    let New = matrix(N, N);
+    call init_boundary(New);
+    for j = 2 to N - 1 {
+        for i = 2 to N - 1 {
+            New[i, j] = c * (New[i - 1, j] + New[i, j - 1]
+                             + Old[i + 1, j] + Old[i, j + 1]);
+        }
+    }
+    return New;
+}
+
+procedure init_boundary(A: matrix) {
+    for k = 1 to N {
+        A[k, 1] = 1;
+        A[k, N] = 1;
+    }
+    for k = 2 to N - 1 {
+        A[1, k] = 1;
+        A[N, k] = 1;
+    }
+}
+"""
+
+FIGURE4 = """
+-- Figure 4a: the three-scalar example
+map a on proc(1);
+map b on proc(2);
+map c on proc(3);
+
+procedure main() returns int {
+    let a = 5;
+    let b = 7;
+    let c = a + b;
+    return c;
+}
+"""
+
+
+class TestDeclarations:
+    def test_const(self):
+        prog = parse_program("const N = 128;")
+        (decl,) = prog.consts
+        assert decl.name == "N"
+        assert isinstance(decl.value, ast.IntLit)
+
+    def test_param(self):
+        prog = parse_program("param N;")
+        assert prog.params[0].name == "N"
+
+    def test_map_on_proc(self):
+        prog = parse_program("map a on proc(1);")
+        spec = prog.maps[0].spec
+        assert isinstance(spec, ast.MapOnProc)
+
+    def test_map_on_all(self):
+        prog = parse_program("map a on all;")
+        assert isinstance(prog.maps[0].spec, ast.MapOnAll)
+
+    def test_map_by_name(self):
+        prog = parse_program("map A by wrapped_cols;")
+        spec = prog.maps[0].spec
+        assert isinstance(spec, ast.MapBy)
+        assert spec.dist == "wrapped_cols"
+        assert spec.args == []
+
+    def test_map_by_with_args(self):
+        prog = parse_program("map A by block_cyclic_cols(8);")
+        spec = prog.maps[0].spec
+        assert len(spec.args) == 1
+
+    def test_procedure_signature(self):
+        prog = parse_program(
+            "procedure f(x: int, A: matrix) returns int { return x; }"
+        )
+        proc = prog.procedures[0]
+        assert [p.type for p in proc.params] == [ast.Type.INT, ast.Type.MATRIX]
+        assert proc.returns is ast.Type.INT
+
+    def test_void_procedure(self):
+        prog = parse_program("procedure f() { return; }")
+        assert prog.procedures[0].returns is ast.Type.VOID
+
+    def test_mapping_polymorphic_procedure(self):
+        prog = parse_program(
+            "procedure f[P](a: int) returns int { return a; }"
+        )
+        assert prog.procedures[0].map_params == ["P"]
+
+
+class TestStatements:
+    def _body(self, text):
+        prog = parse_program(f"procedure f() {{ {text} }}")
+        return prog.procedures[0].body
+
+    def test_let(self):
+        (stmt,) = self._body("let x = 5;")
+        assert isinstance(stmt, ast.LetStmt)
+
+    def test_let_matrix(self):
+        (stmt,) = self._body("let A = matrix(4, 4);")
+        assert isinstance(stmt.init, ast.AllocExpr)
+        assert stmt.init.kind is ast.Type.MATRIX
+
+    def test_let_vector(self):
+        (stmt,) = self._body("let v = vector(8);")
+        assert stmt.init.kind is ast.Type.VECTOR
+
+    def test_scalar_assign(self):
+        prog = parse_program("procedure f() { let x = 1; x = 2; }")
+        stmt = prog.procedures[0].body[1]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.target, ast.Name)
+
+    def test_element_assign(self):
+        (stmt,) = self._body("A[i, j] = 0;")
+        assert isinstance(stmt.target, ast.Index)
+        assert len(stmt.target.indices) == 2
+
+    def test_for_default_step(self):
+        (stmt,) = self._body("for i = 1 to 10 { }")
+        assert stmt.step is None
+
+    def test_for_with_step(self):
+        (stmt,) = self._body("for i = 1 to 10 by 2 { }")
+        assert isinstance(stmt.step, ast.IntLit)
+
+    def test_if_else(self):
+        (stmt,) = self._body("if x == 1 { } else { }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body == []
+        assert stmt.then_body == []
+
+    def test_else_if_chains(self):
+        (stmt,) = self._body("if x == 1 { } else if x == 2 { } else { }")
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+
+    def test_call_stmt(self):
+        (stmt,) = self._body("call init(A, 4);")
+        assert isinstance(stmt, ast.CallStmt)
+        assert len(stmt.args) == 2
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3")
+        assert e.op == "-"
+        assert e.left.op == "-"
+
+    def test_div_mod_keywords(self):
+        e = parse_expr("j mod S")
+        assert e.op == "mod"
+        e = parse_expr("i div 2")
+        assert e.op == "div"
+
+    def test_comparison(self):
+        e = parse_expr("i <= N - 1")
+        assert e.op == "<="
+
+    def test_logical_precedence(self):
+        e = parse_expr("a == 1 or b == 2 and c == 3")
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not(self):
+        e = parse_expr("not a == 1")
+        assert isinstance(e, ast.Unary)
+        assert e.op == "not"
+
+    def test_unary_minus(self):
+        e = parse_expr("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.Unary)
+
+    def test_indexing(self):
+        e = parse_expr("A[i + 1, j]")
+        assert isinstance(e, ast.Index)
+        assert e.array == "A"
+
+    def test_call_expr(self):
+        e = parse_expr("min(a, b)")
+        assert isinstance(e, ast.CallExpr)
+
+    def test_parens(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+
+class TestPaperPrograms:
+    def test_gauss_seidel_parses(self):
+        prog = parse_program(GAUSS_SEIDEL)
+        assert [p.name for p in prog.procedures] == [
+            "gs_iteration",
+            "init_boundary",
+        ]
+        assert {m.name for m in prog.maps} == {"Old", "New", "c"}
+
+    def test_figure4_parses(self):
+        prog = parse_program(FIGURE4)
+        assert len(prog.procedures[0].body) == 4
+
+    def test_gauss_seidel_loop_nest_shape(self):
+        prog = parse_program(GAUSS_SEIDEL)
+        outer = prog.procedures[0].body[2]
+        assert isinstance(outer, ast.ForStmt)
+        assert outer.var == "j"
+        inner = outer.body[0]
+        assert isinstance(inner, ast.ForStmt)
+        assert inner.var == "i"
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse_program("const N = 4")
+
+    def test_bad_declaration(self):
+        with pytest.raises(ParseError, match="declaration"):
+            parse_program("42;")
+
+    def test_bad_statement(self):
+        with pytest.raises(ParseError):
+            parse_program("procedure f() { 42; }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse_program("procedure f() { let x = 1;")
+
+    def test_error_position(self):
+        try:
+            parse_program("procedure f() {\n  let = 1;\n}")
+        except ParseError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_missing_loop_bounds(self):
+        with pytest.raises(ParseError):
+            parse_program("procedure f() { for i = 1 { } }")

@@ -1,0 +1,75 @@
+"""Un-parser tests: parse → unparse → parse must be a fixpoint."""
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import unparse
+
+from tests.lang.test_parser import FIGURE4, GAUSS_SEIDEL
+
+
+def roundtrip(source):
+    first = unparse(parse_program(source))
+    second = unparse(parse_program(first))
+    return first, second
+
+
+class TestRoundTrip:
+    def test_gauss_seidel(self):
+        first, second = roundtrip(GAUSS_SEIDEL)
+        assert first == second
+
+    def test_figure4(self):
+        first, second = roundtrip(FIGURE4)
+        assert first == second
+
+    def test_precedence_preserved(self):
+        source = """
+        procedure main() returns int {
+            return (1 + 2) * 3 - 4 div (5 mod 2);
+        }
+        """
+        first, second = roundtrip(source)
+        assert first == second
+        assert "(1 + 2) * 3" in first
+
+    def test_nonassociative_subtraction(self):
+        source = "procedure main() returns int { return 10 - (4 - 3); }"
+        first, second = roundtrip(source)
+        assert first == second
+        assert "10 - (4 - 3)" in first
+
+    def test_map_declarations(self):
+        source = (
+            "map a on proc(1); map b on all; map A by wrapped_cols;"
+            "map B by block_cyclic_cols(8);"
+            "procedure f(a: int, b: int, A: matrix, B: matrix) { }"
+        )
+        first, second = roundtrip(source)
+        assert first == second
+        assert "map a on proc(1);" in first
+        assert "map B by block_cyclic_cols(8);" in first
+
+    def test_else_if(self):
+        source = """
+        procedure f(x: int) returns int {
+            if x == 1 { return 1; } else if x == 2 { return 2; } else { return 3; }
+        }
+        """
+        first, second = roundtrip(source)
+        assert first == second
+
+    def test_for_with_step_and_unary(self):
+        source = """
+        procedure f() returns int {
+            let acc = 0;
+            for i = 1 to 9 by 2 { acc = acc + (-i); }
+            return acc;
+        }
+        """
+        first, second = roundtrip(source)
+        assert first == second
+
+    def test_map_params_preserved(self):
+        source = "procedure f[P, Q](a: int) returns int { return a; }"
+        first, second = roundtrip(source)
+        assert first == second
+        assert "f[P, Q]" in first

@@ -1,0 +1,209 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.errors import CheckError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+
+from tests.lang.test_parser import FIGURE4, GAUSS_SEIDEL
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+class TestDeclarations:
+    def test_const_folding(self):
+        checked = check("const N = 4; const M = N * 2 + 1;")
+        assert checked.consts == {"N": 4, "M": 9}
+
+    def test_const_fold_div_mod(self):
+        checked = check("const A = 7 div 2; const B = 7 mod 2;")
+        assert checked.consts == {"A": 3, "B": 1}
+
+    def test_const_fold_negation(self):
+        assert check("const A = -3;").consts == {"A": -3}
+
+    def test_const_requires_constant(self):
+        with pytest.raises(CheckError, match="constant"):
+            check("param N; const M = N + 1;")
+
+    def test_duplicate_const(self):
+        with pytest.raises(CheckError, match="duplicate"):
+            check("const N = 1; const N = 2;")
+
+    def test_duplicate_proc(self):
+        with pytest.raises(CheckError, match="duplicate"):
+            check("procedure f() { } procedure f() { }")
+
+    def test_duplicate_map(self):
+        with pytest.raises(CheckError, match="duplicate"):
+            check(
+                "map a on all; map a on all;"
+                "procedure f(a: int) { }"
+            )
+
+    def test_map_must_name_known_variable(self):
+        with pytest.raises(CheckError, match="unknown variable"):
+            check("map nosuch on all;")
+
+
+class TestScoping:
+    def test_unknown_variable(self):
+        with pytest.raises(CheckError, match="unknown variable"):
+            check("procedure f() returns int { return x; }")
+
+    def test_let_shadowing_same_scope_rejected(self):
+        with pytest.raises(CheckError, match="rebinds"):
+            check("procedure f() { let x = 1; let x = 2; }")
+
+    def test_assign_before_let_rejected(self):
+        with pytest.raises(CheckError, match="undeclared"):
+            check("procedure f() { x = 1; }")
+
+    def test_loop_variable_immutable(self):
+        with pytest.raises(CheckError, match="cannot assign"):
+            check("procedure f() { for i = 1 to 3 { i = 0; } }")
+
+    def test_const_immutable(self):
+        with pytest.raises(CheckError, match="cannot assign"):
+            check("const N = 1; procedure f() { N = 2; }")
+
+    def test_loop_scope_nesting(self):
+        check(
+            "procedure f(A: vector) {"
+            " for i = 1 to 3 { for j = 1 to 3 { A[i + j] = 0; } } }"
+        )
+
+    def test_params_visible(self):
+        check("param N; procedure f() returns int { return N; }")
+
+
+class TestTypes:
+    def test_arith_int(self):
+        checked = check("procedure f() returns int { return 1 + 2 * 3; }")
+        ret = checked.procs["f"].body[0]
+        assert checked.type_of(ret.value) is ast.Type.INT
+
+    def test_real_contaminates(self):
+        checked = check("procedure f() returns real { return 1 + 2.5; }")
+        ret = checked.procs["f"].body[0]
+        assert checked.type_of(ret.value) is ast.Type.REAL
+
+    def test_slash_gives_real(self):
+        checked = check("procedure f() returns real { return 1 / 2; }")
+        ret = checked.procs["f"].body[0]
+        assert checked.type_of(ret.value) is ast.Type.REAL
+
+    def test_div_requires_ints(self):
+        with pytest.raises(CheckError, match="integers"):
+            check("procedure f() returns int { return 1.5 div 2; }")
+
+    def test_bool_arith_rejected(self):
+        with pytest.raises(CheckError, match="numbers"):
+            check("procedure f() returns int { return true + 1; }")
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(CheckError, match="boolean"):
+            check("procedure f() { if 1 { } }")
+
+    def test_loop_bounds_must_be_int(self):
+        with pytest.raises(CheckError, match="integers"):
+            check("procedure f() { for i = 1 to 2.5 { } }")
+
+    def test_int_assignable_to_real(self):
+        check("procedure f() { let x = 1.0; x = 2; }")
+
+    def test_real_not_assignable_to_int(self):
+        with pytest.raises(CheckError, match="cannot assign"):
+            check("procedure f() { let x = 1; x = 2.5; }")
+
+
+class TestArrays:
+    def test_matrix_needs_two_indices(self):
+        with pytest.raises(CheckError, match="2 indices"):
+            check("procedure f(A: matrix) returns int { return A[1]; }")
+
+    def test_vector_needs_one_index(self):
+        with pytest.raises(CheckError, match="1 indices"):
+            check("procedure f(v: vector) returns int { return v[1, 2]; }")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CheckError, match="not an array"):
+            check("procedure f(x: int) returns int { return x[1]; }")
+
+    def test_indices_must_be_int(self):
+        with pytest.raises(CheckError, match="integers"):
+            check("procedure f(A: vector) returns int { return A[1.5]; }")
+
+    def test_alloc_arity(self):
+        with pytest.raises(CheckError, match="2 sizes"):
+            check("procedure f() { let A = matrix(4); }")
+
+    def test_element_write_numeric(self):
+        with pytest.raises(CheckError, match="numeric"):
+            check("procedure f(A: vector) { A[1] = true; }")
+
+
+class TestCalls:
+    def test_builtin_arity(self):
+        with pytest.raises(CheckError, match="2 arguments"):
+            check("procedure f() returns int { return min(1); }")
+
+    def test_unknown_procedure(self):
+        with pytest.raises(CheckError, match="unknown procedure"):
+            check("procedure f() { call g(); }")
+
+    def test_call_arity(self):
+        with pytest.raises(CheckError, match="1 arguments"):
+            check(
+                "procedure g(x: int) { }"
+                "procedure f() { call g(); }"
+            )
+
+    def test_argument_types(self):
+        with pytest.raises(CheckError, match="expects matrix"):
+            check(
+                "procedure g(A: matrix) { }"
+                "procedure f() { call g(1); }"
+            )
+
+    def test_void_call_in_expression_rejected(self):
+        with pytest.raises(CheckError, match="no value"):
+            check(
+                "procedure g() { }"
+                "procedure f() returns int { return g(); }"
+            )
+
+    def test_recursion_allowed(self):
+        check(
+            "procedure fib(n: int) returns int {"
+            " if n <= 1 { return n; }"
+            " return fib(n - 1) + fib(n - 2); }"
+        )
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(CheckError, match="returns int"):
+            check("procedure f() returns int { return 1.5; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CheckError, match="returns no value"):
+            check("procedure f() { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CheckError, match="must return"):
+            check("procedure f() returns int { return; }")
+
+
+class TestPaperPrograms:
+    def test_gauss_seidel_checks(self):
+        checked = check(GAUSS_SEIDEL)
+        assert checked.params == ["N"]
+        assert set(checked.maps) == {"Old", "New", "c"}
+        assert checked.var_types["gs_iteration"]["New"] is ast.Type.MATRIX
+
+    def test_figure4_checks(self):
+        checked = check(FIGURE4)
+        assert set(checked.maps) == {"a", "b", "c"}

@@ -1,0 +1,113 @@
+"""Direct simulator tests for process placement (§5.3/5.4 support)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import Compute, MachineParams, Recv, Send, Simulator
+
+FREE = MachineParams.free_messages()
+
+
+def ping_pong_factory(rank):
+    def pinger():
+        yield Send(1, "ping", (1,))
+        payload = yield Recv(1, "pong")
+        return payload[0]
+
+    def ponger():
+        payload = yield Recv(0, "ping")
+        yield Send(0, "pong", (payload[0] + 1,))
+        return None
+
+    return pinger() if rank == 0 else ponger()
+
+
+class TestPlacementBasics:
+    def test_identity_placement_is_default(self):
+        explicit = Simulator(2, FREE).run(ping_pong_factory, placement=[0, 1])
+        implicit = Simulator(2, FREE).run(ping_pong_factory)
+        assert explicit.returned == implicit.returned
+        assert explicit.cpu_finish_us == implicit.cpu_finish_us
+
+    def test_colocated_messages_not_counted(self):
+        result = Simulator(2, FREE).run(ping_pong_factory, placement=[0, 0])
+        assert result.total_messages == 0
+        assert result.returned[0] == 2
+
+    def test_remote_messages_counted(self):
+        result = Simulator(2, FREE).run(ping_pong_factory, placement=[0, 1])
+        assert result.total_messages == 2
+
+    def test_colocated_skip_startup_cost(self):
+        machine = MachineParams(
+            send_startup_us=1000.0, recv_overhead_us=100.0, per_byte_us=0.0,
+            latency_us=50.0, op_us=0.0, mem_us=1.0,
+        )
+        remote = Simulator(2, machine).run(ping_pong_factory, placement=[0, 1])
+        local = Simulator(2, machine).run(ping_pong_factory, placement=[0, 0])
+        assert local.makespan_us < 0.1 * remote.makespan_us
+
+    def test_bad_placement_length(self):
+        with pytest.raises(SimulationError, match="placement"):
+            Simulator(2, FREE).run(ping_pong_factory, placement=[0])
+
+    def test_cpu_clocks_shared(self):
+        # Two compute-only processes on one cpu serialize their work.
+        def factory(rank):
+            def proc():
+                yield Compute(100.0)
+                return rank
+
+            return proc()
+
+        shared = Simulator(2, FREE).run(factory, placement=[0, 0])
+        split = Simulator(2, FREE).run(factory, placement=[0, 1])
+        assert shared.makespan_us == pytest.approx(200.0)
+        assert split.makespan_us == pytest.approx(100.0)
+
+    def test_latency_hiding(self):
+        """While one process waits for a remote value, a co-located
+        process keeps the cpu busy — the §5.4 motivation."""
+        machine = MachineParams(
+            send_startup_us=0.0, recv_overhead_us=0.0, per_byte_us=0.0,
+            latency_us=1000.0, op_us=1.0, mem_us=0.0,
+        )
+
+        def factory(rank):
+            def remote_producer():
+                yield Compute(10.0)
+                yield Send(1, "x", (1,))
+                return None
+
+            def waiter():
+                payload = yield Recv(0, "x")
+                yield Compute(10.0)
+                return None
+
+            def busy_friend():
+                yield Compute(500.0)
+                return None
+
+            return [remote_producer, waiter, busy_friend][rank]()
+
+        result = Simulator(3, machine).run(factory, placement=[0, 1, 1])
+        # cpu1 overlaps friend-compute with the waiter's network wait:
+        # finish well before the serial sum (wait 1010 + 10 + 500).
+        assert result.cpu_finish_us[1] < 1200.0
+        assert result.cpu_busy_us[1] == pytest.approx(510.0)
+
+
+class TestPerProcessAccounting:
+    def test_busy_per_process_sums_to_cpu_busy(self):
+        def factory(rank):
+            def proc():
+                yield Compute(10.0 * (rank + 1))
+                return None
+
+            return proc()
+
+        result = Simulator(3, FREE).run(factory, placement=[0, 0, 1])
+        assert sum(result.busy_times_us[:2]) == pytest.approx(
+            result.cpu_busy_us[0]
+        )
+        assert result.busy_times_us[2] == pytest.approx(result.cpu_busy_us[1])

@@ -1,0 +1,342 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError, NodeRuntimeError, SimulationError
+from repro.machine import (
+    Compute,
+    MachineParams,
+    Recv,
+    Send,
+    Simulator,
+)
+
+FREE = MachineParams.free_messages()
+
+
+def run(nprocs, make, params=None, trace=False):
+    return Simulator(nprocs, params or FREE, trace=trace).run(make)
+
+
+class TestBasics:
+    def test_single_compute_process(self):
+        def make(rank):
+            def proc():
+                yield Compute(10.0)
+                yield Compute(5.0)
+                return rank * 100
+
+            return proc()
+
+        result = run(2, make)
+        assert result.finish_times_us == [15.0, 15.0]
+        assert result.returned == [0, 100]
+        assert result.makespan_us == 15.0
+
+    def test_message_delivery(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "data", (42, 43))
+                return None
+
+            def receiver():
+                payload = yield Recv(0, "data")
+                return payload
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.returned[1] == (42, 43)
+        assert result.total_messages == 1
+
+    def test_fifo_order_per_channel(self):
+        def make(rank):
+            def sender():
+                for k in range(5):
+                    yield Send(1, "c", (k,))
+                return None
+
+            def receiver():
+                got = []
+                for _ in range(5):
+                    payload = yield Recv(0, "c")
+                    got.append(payload[0])
+                return got
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.returned[1] == [0, 1, 2, 3, 4]
+
+    def test_channels_are_independent(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "a", (1,))
+                yield Send(1, "b", (2,))
+                return None
+
+            def receiver():
+                b = yield Recv(0, "b")
+                a = yield Recv(0, "a")
+                return (a[0], b[0])
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.returned[1] == (1, 2)
+
+    def test_receiver_can_start_before_sender(self):
+        # Rank 0 blocks on a recv first; rank 1 sends later; must unblock.
+        def make(rank):
+            def first():
+                payload = yield Recv(1, "x")
+                return payload[0]
+
+            def second():
+                yield Compute(100.0)
+                yield Send(0, "x", (7,))
+                return None
+
+            return first() if rank == 0 else second()
+
+        result = run(2, make)
+        assert result.returned[0] == 7
+
+
+class TestTiming:
+    PARAMS = MachineParams(
+        send_startup_us=100.0,
+        recv_overhead_us=10.0,
+        per_byte_us=1.0,
+        latency_us=5.0,
+        op_us=1.0,
+        scalar_bytes=4,
+    )
+
+    def test_send_cost_charged_to_sender(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "c", (1,))  # 4 bytes
+                return None
+
+            def receiver():
+                yield Recv(0, "c")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make, params=self.PARAMS)
+        # sender: 100 startup + 4 bytes * 1us = 104
+        assert result.finish_times_us[0] == pytest.approx(104.0)
+        # receiver: arrival (104 + 5) + overhead 10 = 119
+        assert result.finish_times_us[1] == pytest.approx(119.0)
+
+    def test_recv_after_arrival_not_delayed(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "c", (1,))
+                return None
+
+            def receiver():
+                yield Compute(1000.0)  # already past the arrival time
+                yield Recv(0, "c")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make, params=self.PARAMS)
+        assert result.finish_times_us[1] == pytest.approx(1010.0)
+
+    def test_pipeline_overlaps(self):
+        # Two-stage pipeline: with blocking recv, stage 1 of item k+1
+        # overlaps stage 2 of item k.
+        items = 10
+        work = 50.0
+
+        def make(rank):
+            def stage0():
+                for _ in range(items):
+                    yield Compute(work)
+                    yield Send(1, "pipe", (0,))
+                return None
+
+            def stage1():
+                for _ in range(items):
+                    yield Recv(0, "pipe")
+                    yield Compute(work)
+                return None
+
+            return stage0() if rank == 0 else stage1()
+
+        result = run(2, make, params=MachineParams.free_messages())
+        # Perfect pipelining: items*work + work, not 2*items*work.
+        assert result.makespan_us < 2 * items * work
+        assert result.makespan_us >= items * work
+
+    def test_busy_vs_idle(self):
+        def make(rank):
+            def sender():
+                yield Compute(500.0)
+                yield Send(1, "c", (1,))
+                return None
+
+            def receiver():
+                yield Recv(0, "c")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make, params=self.PARAMS)
+        # Receiver idles while the sender computes.
+        assert result.busy_times_us[1] == pytest.approx(10.0)
+        assert result.finish_times_us[1] > 500.0
+
+
+class TestStats:
+    def test_counts_and_bytes(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "a", (1, 2, 3))
+                yield Send(1, "a", (4,))
+                return None
+
+            def receiver():
+                yield Recv(0, "a")
+                yield Recv(0, "a")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.total_messages == 2
+        assert result.stats.total_bytes == 16
+        assert result.stats.messages_by_channel_name() == {"a": 2}
+        assert result.stats.messages_from(0) == 2
+        assert result.stats.messages_to(1) == 2
+
+    def test_trace(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "a", (1,))
+                return None
+
+            def receiver():
+                yield Recv(0, "a")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make, trace=True)
+        kinds = [e.kind for e in result.trace]
+        assert "send" in kinds and "recv" in kinds and "done" in kinds
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def make(rank):
+            def proc():
+                other = 1 - rank
+                yield Recv(other, "never")
+                return None
+
+            return proc()
+
+        with pytest.raises(DeadlockError) as err:
+            run(2, make)
+        assert set(err.value.blocked) == {0, 1}
+
+    def test_self_send_rejected(self):
+        def make(rank):
+            def proc():
+                yield Send(rank, "c", (1,))
+                return None
+
+            return proc()
+
+        with pytest.raises(NodeRuntimeError, match="self-send"):
+            run(1, make)
+
+    def test_invalid_destination(self):
+        def make(rank):
+            def proc():
+                yield Send(99, "c", (1,))
+                return None
+
+            return proc()
+
+        with pytest.raises(NodeRuntimeError, match="invalid processor"):
+            run(2, make)
+
+    def test_process_exception_wrapped_with_rank(self):
+        def make(rank):
+            def proc():
+                yield Compute(1.0)
+                if rank == 1:
+                    raise ValueError("boom")
+                return None
+
+            return proc()
+
+        with pytest.raises(NodeRuntimeError, match=r"\[proc 1\] boom"):
+            run(2, make)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(0)
+
+    def test_runaway_detected(self):
+        def make(rank):
+            def proc():
+                while True:
+                    yield Compute(0.0)
+
+            return proc()
+
+        with pytest.raises(SimulationError, match="steps"):
+            Simulator(1, FREE, max_steps=1000).run(make)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        def make(rank):
+            def proc():
+                total = 0
+                left = (rank - 1) % 4
+                right = (rank + 1) % 4
+                yield Send(right, "ring", (rank,))
+                payload = yield Recv(left, "ring")
+                total += payload[0]
+                yield Send(right, "ring2", (total,))
+                payload = yield Recv(left, "ring2")
+                return total + payload[0]
+
+            return proc()
+
+        first = run(4, make, params=MachineParams.ipsc2())
+        second = run(4, make, params=MachineParams.ipsc2())
+        assert first.returned == second.returned
+        assert first.finish_times_us == second.finish_times_us
+
+
+@given(nprocs=st.integers(2, 6), rounds=st.integers(1, 5))
+def test_ring_pass_conserves_tokens(nprocs, rounds):
+    """Token values survive any scheduling: each hop shifts by one rank."""
+
+    def make(rank):
+        def proc():
+            token = rank
+            left = (rank - 1) % nprocs
+            right = (rank + 1) % nprocs
+            for r in range(rounds):
+                yield Send(right, f"r{r}", (token,))
+                payload = yield Recv(left, f"r{r}")
+                token = payload[0]
+            return token
+
+        return proc()
+
+    result = run(nprocs, make)
+    expected = [(rank - rounds) % nprocs for rank in range(nprocs)]
+    assert result.returned == expected

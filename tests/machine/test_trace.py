@@ -1,0 +1,68 @@
+"""Tests for trace rendering utilities."""
+
+from repro.machine import MachineParams, Recv, Send, Simulator
+from repro.machine.trace import filter_trace, render_timeline, trace_summary
+
+FREE = MachineParams.free_messages()
+
+
+def traced_pingpong():
+    def factory(rank):
+        def pinger():
+            yield Send(1, "ping", (1,))
+            yield Recv(1, "pong")
+            return None
+
+        def ponger():
+            yield Recv(0, "ping")
+            yield Send(0, "pong", (2,))
+            return None
+
+        return pinger() if rank == 0 else ponger()
+
+    return Simulator(2, MachineParams.ipsc2(), trace=True).run(factory)
+
+
+class TestRenderTimeline:
+    def test_rows_per_process(self):
+        text = render_timeline(traced_pingpong())
+        assert "p0" in text and "p1" in text
+        assert "s=send" in text
+
+    def test_marks_present(self):
+        text = render_timeline(traced_pingpong())
+        assert "s" in text and "r" in text
+
+    def test_untraced_run_reports_gracefully(self):
+        def factory(rank):
+            def proc():
+                return None
+                yield  # pragma: no cover
+
+            return proc()
+
+        result = Simulator(1, FREE).run(factory)
+        assert "no trace" in render_timeline(result)
+
+    def test_width_respected(self):
+        text = render_timeline(traced_pingpong(), width=20)
+        row = [line for line in text.splitlines() if line.startswith("p0")][0]
+        assert len(row.split("|")[1]) == 20
+
+
+class TestSummaryAndFilter:
+    def test_summary_counts(self):
+        summary = trace_summary(traced_pingpong())
+        assert "send=2" in summary
+        assert "recv=2" in summary
+        assert "done=2" in summary
+
+    def test_filter_by_proc(self):
+        events = filter_trace(traced_pingpong(), proc=0)
+        assert all(e.proc == 0 for e in events)
+        assert events == sorted(events, key=lambda e: e.time_us)
+
+    def test_filter_by_kind(self):
+        events = filter_trace(traced_pingpong(), kind="send")
+        assert len(events) == 2
+        assert all(e.kind == "send" for e in events)

@@ -1,0 +1,143 @@
+"""Tests for I-structure semantics (paper §2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IStructureError
+from repro.runtime import IStructure, LocalArray
+
+
+class TestIStructureBasics:
+    def test_allocate_then_write_then_read(self):
+        a = IStructure((3, 3), name="A")
+        a.write(1, 2, 42)
+        assert a.read(1, 2) == 42
+
+    def test_read_undefined_is_error(self):
+        a = IStructure((3, 3))
+        with pytest.raises(IStructureError, match="undefined"):
+            a.read(2, 2)
+
+    def test_double_write_is_error(self):
+        a = IStructure((3, 3), name="A")
+        a.write(1, 1, 1)
+        with pytest.raises(IStructureError, match="second write"):
+            a.write(1, 1, 2)
+
+    def test_double_write_same_value_still_error(self):
+        # Write-once means once, even for an equal value.
+        a = IStructure((2,))
+        a.write(1, 5)
+        with pytest.raises(IStructureError):
+            a.write(1, 5)
+
+    def test_one_dimensional(self):
+        v = IStructure((4,), name="v")
+        v.write(4, 9)
+        assert v.read(4) == 9
+
+    def test_indices_are_one_based(self):
+        a = IStructure((2, 2))
+        with pytest.raises(IStructureError, match="out of bounds"):
+            a.read(0, 1)
+        with pytest.raises(IStructureError, match="out of bounds"):
+            a.write(3, 1, 0)
+
+    def test_rank_mismatch(self):
+        a = IStructure((2, 2))
+        with pytest.raises(IStructureError, match="rank"):
+            a.read(1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(IStructureError):
+            IStructure(())
+        with pytest.raises(IStructureError):
+            IStructure((2, -1))
+
+    def test_is_defined(self):
+        a = IStructure((2, 2))
+        assert not a.is_defined(1, 1)
+        a.write(1, 1, 0)
+        assert a.is_defined(1, 1)
+
+    def test_defined_count_and_size(self):
+        a = IStructure((2, 3))
+        assert a.size == 6
+        a.write(1, 1, 1)
+        a.write(2, 3, 2)
+        assert a.defined_count == 2
+
+
+class TestIStructureBulk:
+    def test_to_list_with_filler(self):
+        v = IStructure((3,))
+        v.write(2, 7)
+        assert v.to_list() == [None, 7, None]
+
+    def test_to_nested_row_major(self):
+        a = IStructure((2, 2))
+        a.write(1, 1, 11)
+        a.write(1, 2, 12)
+        a.write(2, 1, 21)
+        a.write(2, 2, 22)
+        assert a.to_nested() == [[11, 12], [21, 22]]
+
+    def test_repr_mentions_progress(self):
+        a = IStructure((2, 2), name="grid")
+        a.write(1, 1, 0)
+        assert "grid" in repr(a)
+        assert "1/4" in repr(a)
+
+
+class TestLocalArray:
+    def test_rewritable(self):
+        b = LocalArray((4,), name="buf")
+        b.write(1, 10)
+        b.write(1, 20)
+        assert b.read(1) == 20
+
+    def test_read_never_written_is_error(self):
+        b = LocalArray((4,))
+        with pytest.raises(IStructureError, match="never-written"):
+            b.read(3)
+
+    def test_fill_from_and_slice(self):
+        b = LocalArray((5,))
+        b.fill_from([1, 2, 3], start=2)
+        assert b.slice(2, 4) == [1, 2, 3]
+
+    def test_bounds_checked(self):
+        b = LocalArray((2,))
+        with pytest.raises(IStructureError, match="out of bounds"):
+            b.write(3, 0)
+
+    def test_two_dimensional(self):
+        b = LocalArray((2, 2))
+        b.write(2, 1, 5)
+        assert b.read(2, 1) == 5
+
+
+@given(
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    data=st.data(),
+)
+def test_istructure_reads_return_what_was_written(shape, data):
+    a = IStructure(shape)
+    rows, cols = shape
+    n_writes = data.draw(st.integers(0, rows * cols))
+    written = {}
+    cells = [(r, c) for r in range(1, rows + 1) for c in range(1, cols + 1)]
+    chosen = data.draw(
+        st.lists(st.sampled_from(cells), max_size=n_writes, unique=True)
+    )
+    for idx, cell in enumerate(chosen):
+        a.write(*cell, idx)
+        written[cell] = idx
+    for cell in cells:
+        if cell in written:
+            assert a.read(*cell) == written[cell]
+        else:
+            with pytest.raises(IStructureError):
+                a.read(*cell)
+    assert a.defined_count == len(written)

@@ -1,0 +1,389 @@
+"""SPMD IR interpreter tests."""
+
+import pytest
+
+from repro.errors import IStructureError, NodeRuntimeError
+from repro.machine import MachineParams
+from repro.spmd import ir
+from repro.spmd.interp import run_spmd
+from repro.spmd.ir import (
+    BufLV,
+    IsLV,
+    NAllocBuf,
+    NAllocIs,
+    NAssign,
+    NBin,
+    NBroadcast,
+    NBufRead,
+    NCall,
+    NCallProc,
+    NCoerce,
+    NConst,
+    NFor,
+    NIf,
+    NIsRead,
+    NMyNode,
+    NNProcs,
+    NodeProc,
+    NodeProgram,
+    NRecv,
+    NRecvVec,
+    NReturn,
+    NSend,
+    NSendVec,
+    NUn,
+    NVar,
+    VarLV,
+)
+
+FREE = MachineParams.free_messages()
+
+
+def program(body, name="test", params=None, array_params=None, extra_procs=()):
+    procs = {
+        "main": NodeProc(
+            "main",
+            params=list(params or []),
+            array_params=set(array_params or []),
+            body=body,
+        )
+    }
+    for proc in extra_procs:
+        procs[proc.name] = proc
+    return NodeProgram(name=name, procs=procs, entry="main")
+
+
+def run(body, nprocs=2, make_args=lambda rank: [], globals_=None, **kw):
+    prog = program(body, **kw) if isinstance(body, list) else body
+    return run_spmd(prog, nprocs, make_args, machine=FREE, globals_=globals_)
+
+
+class TestScalars:
+    def test_arithmetic_and_return(self):
+        body = [
+            NAssign(VarLV("x"), NBin("+", NConst(2), NConst(3))),
+            NReturn(NBin("*", NVar("x"), NConst(10))),
+        ]
+        result = run(body)
+        assert result.returned == [50, 50]
+
+    def test_mynode_and_nprocs(self):
+        body = [NReturn(NBin("+", NMyNode(), NBin("*", NNProcs(), NConst(10))))]
+        result = run(body, nprocs=3)
+        assert result.returned == [30, 31, 32]
+
+    def test_globals_visible(self):
+        body = [NReturn(NVar("N"))]
+        result = run(body, globals_={"N": 16})
+        assert result.returned == [16, 16]
+
+    def test_builtin_call(self):
+        body = [NReturn(NCall("min", (NMyNode(), NConst(1))))]
+        result = run(body, nprocs=3)
+        assert result.returned == [0, 1, 1]
+
+    def test_unary(self):
+        body = [NReturn(NUn("-", NConst(5)))]
+        assert run(body).returned == [-5, -5]
+
+    def test_div_mod_semantics(self):
+        body = [
+            NReturn(
+                NBin(
+                    "+",
+                    NBin("mod", NUn("-", NConst(1)), NConst(4)),
+                    NBin("*", NBin("div", NUn("-", NConst(7)), NConst(2)), NConst(10)),
+                )
+            )
+        ]
+        # (-1 mod 4) + (-7 div 2)*10 = 3 + (-4*10) = -37
+        assert run(body).returned == [-37, -37]
+
+    def test_unbound_variable(self):
+        with pytest.raises(NodeRuntimeError, match="unbound"):
+            run([NReturn(NVar("nope"))])
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        body = [
+            NAssign(VarLV("acc"), NConst(0)),
+            NFor(
+                "i",
+                NConst(1),
+                NConst(10),
+                NConst(1),
+                [NAssign(VarLV("acc"), NBin("+", NVar("acc"), NVar("i")))],
+            ),
+            NReturn(NVar("acc")),
+        ]
+        assert run(body).returned == [55, 55]
+
+    def test_for_with_stride(self):
+        body = [
+            NAssign(VarLV("acc"), NConst(0)),
+            NFor(
+                "i",
+                NMyNode(),
+                NConst(9),
+                NNProcs(),
+                [NAssign(VarLV("acc"), NBin("+", NVar("acc"), NVar("i")))],
+            ),
+            NReturn(NVar("acc")),
+        ]
+        result = run(body, nprocs=2)
+        assert result.returned == [0 + 2 + 4 + 6 + 8, 1 + 3 + 5 + 7 + 9]
+
+    def test_empty_range(self):
+        body = [
+            NAssign(VarLV("acc"), NConst(0)),
+            NFor("i", NConst(5), NConst(4), NConst(1), [
+                NAssign(VarLV("acc"), NConst(99)),
+            ]),
+            NReturn(NVar("acc")),
+        ]
+        assert run(body).returned == [0, 0]
+
+    def test_if_guard(self):
+        body = [
+            NAssign(VarLV("x"), NConst(0)),
+            NIf(
+                NBin("==", NMyNode(), NConst(1)),
+                [NAssign(VarLV("x"), NConst(7))],
+                [NAssign(VarLV("x"), NConst(3))],
+            ),
+            NReturn(NVar("x")),
+        ]
+        assert run(body, nprocs=3).returned == [3, 7, 3]
+
+
+class TestMemory:
+    def test_istructure_alloc_write_read(self):
+        body = [
+            NAllocIs("A", (NConst(2), NConst(2))),
+            NAssign(IsLV("A", (NConst(1), NConst(2))), NConst(42)),
+            NReturn(NIsRead("A", (NConst(1), NConst(2)))),
+        ]
+        assert run(body).returned == [42, 42]
+
+    def test_istructure_write_once_enforced(self):
+        body = [
+            NAllocIs("A", (NConst(2),)),
+            NAssign(IsLV("A", (NConst(1),)), NConst(1)),
+            NAssign(IsLV("A", (NConst(1),)), NConst(2)),
+        ]
+        # The simulator wraps node failures with the failing rank, chaining
+        # the original IStructureError as the cause.
+        with pytest.raises(NodeRuntimeError, match="second write") as err:
+            run(body)
+        assert isinstance(err.value.__cause__, IStructureError)
+
+    def test_buffer_rewritable(self):
+        body = [
+            NAllocBuf("b", (NConst(4),)),
+            NAssign(BufLV("b", (NConst(1),)), NConst(1)),
+            NAssign(BufLV("b", (NConst(1),)), NConst(2)),
+            NReturn(NBufRead("b", (NConst(1),))),
+        ]
+        assert run(body).returned == [2, 2]
+
+    def test_array_argument(self):
+        from repro.runtime import IStructure
+
+        def make_args(rank):
+            part = IStructure((2,), name=f"in@{rank}")
+            part.write(1, rank * 10)
+            part.write(2, rank * 10 + 1)
+            return [part]
+
+        body = [
+            NReturn(
+                NBin(
+                    "+",
+                    NIsRead("inp", (NConst(1),)),
+                    NIsRead("inp", (NConst(2),)),
+                )
+            )
+        ]
+        result = run(
+            body,
+            nprocs=2,
+            make_args=make_args,
+            params=["inp"],
+            array_params=["inp"],
+        )
+        assert result.returned == [1, 21]
+
+
+class TestCommunication:
+    def test_send_recv(self):
+        body = [
+            NIf(
+                NBin("==", NMyNode(), NConst(0)),
+                [NSend(NConst(1), "c", (NConst(99),)), NReturn(NConst(0))],
+                [
+                    NRecv(NConst(0), "c", (VarLV("x"),)),
+                    NReturn(NVar("x")),
+                ],
+            )
+        ]
+        result = run(body)
+        assert result.returned == [0, 99]
+        assert result.total_messages == 1
+
+    def test_vector_send_recv(self):
+        body = [
+            NAllocBuf("b", (NConst(4),)),
+            NIf(
+                NBin("==", NMyNode(), NConst(0)),
+                [
+                    NFor("i", NConst(1), NConst(4), NConst(1), [
+                        NAssign(BufLV("b", (NVar("i"),)), NBin("*", NVar("i"), NVar("i"))),
+                    ]),
+                    NSendVec(NConst(1), "v", "b", NConst(1), NConst(4)),
+                    NReturn(NConst(0)),
+                ],
+                [
+                    NRecvVec(NConst(0), "v", "b", NConst(1), NConst(4)),
+                    NReturn(NBufRead("b", (NConst(3),))),
+                ],
+            ),
+        ]
+        result = run(body)
+        assert result.returned == [0, 9]
+        assert result.total_messages == 1
+        assert result.sim.stats.total_bytes == 16
+
+    def test_vector_length_mismatch_detected(self):
+        body = [
+            NAllocBuf("b", (NConst(4),)),
+            NIf(
+                NBin("==", NMyNode(), NConst(0)),
+                [NSendVec(NConst(1), "v", "b", NConst(1), NConst(2))],
+                [NRecvVec(NConst(0), "v", "b", NConst(1), NConst(4))],
+            ),
+            NReturn(NConst(0)),
+        ]
+        body.insert(1, NIf(
+            NBin("==", NMyNode(), NConst(0)),
+            [
+                NAssign(BufLV("b", (NConst(1),)), NConst(0)),
+                NAssign(BufLV("b", (NConst(2),)), NConst(0)),
+            ],
+            [],
+        ))
+        with pytest.raises(NodeRuntimeError, match="length mismatch"):
+            run(body)
+
+
+class TestCoerce:
+    def test_local_coerce_no_message(self):
+        # owner == dest == 1: only processor 1 evaluates and stores.
+        body = [
+            NAssign(VarLV("t"), NConst(-1)),
+            NCoerce(VarLV("t"), NConst(5), NConst(1), NConst(1), "co"),
+            NReturn(NVar("t")),
+        ]
+        result = run(body, nprocs=3)
+        assert result.returned == [-1, 5, -1]
+        assert result.total_messages == 0
+
+    def test_remote_coerce_one_message(self):
+        body = [
+            NAssign(VarLV("t"), NConst(-1)),
+            NCoerce(VarLV("t"), NBin("+", NMyNode(), NConst(100)),
+                    NConst(0), NConst(2), "co"),
+            NReturn(NVar("t")),
+        ]
+        result = run(body, nprocs=3)
+        # Owner 0 evaluates (100), dest 2 receives it.
+        assert result.returned == [-1, -1, 100]
+        assert result.total_messages == 1
+
+    def test_broadcast(self):
+        body = [
+            NBroadcast(VarLV("t"), NConst(7), NConst(1), "bc"),
+            NReturn(NVar("t")),
+        ]
+        result = run(body, nprocs=4)
+        assert result.returned == [7, 7, 7, 7]
+        assert result.total_messages == 3
+
+
+class TestProcedures:
+    def test_call_with_result(self):
+        double = NodeProc(
+            "double",
+            params=["x"],
+            body=[NReturn(NBin("*", NVar("x"), NConst(2)))],
+        )
+        body = [
+            NCallProc("double", (NConst(21),), result=VarLV("y")),
+            NReturn(NVar("y")),
+        ]
+        result = run(program(body, extra_procs=[double]))
+        assert result.returned == [42, 42]
+
+    def test_array_passed_by_reference(self):
+        fill = NodeProc(
+            "fill",
+            params=["A"],
+            array_params={"A"},
+            body=[NAssign(IsLV("A", (NConst(1),)), NConst(9))],
+        )
+        body = [
+            NAllocIs("B", (NConst(2),)),
+            NCallProc("fill", ("B",)),
+            NReturn(NIsRead("B", (NConst(1),))),
+        ]
+        result = run(program(body, extra_procs=[fill]))
+        assert result.returned == [9, 9]
+
+    def test_recursion(self):
+        fact = NodeProc(
+            "fact",
+            params=["n"],
+            body=[
+                NIf(
+                    NBin("<=", NVar("n"), NConst(1)),
+                    [NReturn(NConst(1))],
+                    [],
+                ),
+                NCallProc(
+                    "fact", (NBin("-", NVar("n"), NConst(1)),), result=VarLV("r")
+                ),
+                NReturn(NBin("*", NVar("n"), NVar("r"))),
+            ],
+        )
+        body = [
+            NCallProc("fact", (NConst(5),), result=VarLV("y")),
+            NReturn(NVar("y")),
+        ]
+        result = run(program(body, extra_procs=[fact]))
+        assert result.returned == [120, 120]
+
+    def test_unknown_procedure(self):
+        body = [NCallProc("nope", ())]
+        with pytest.raises(NodeRuntimeError, match="unknown node procedure"):
+            run(body)
+
+
+class TestCosts:
+    def test_ops_cost_time(self):
+        machine = MachineParams.free_messages().with_(op_us=2.0, mem_us=0.0)
+        body = [
+            NAssign(VarLV("x"), NBin("+", NConst(1), NConst(2))),  # 1 op
+            NReturn(NVar("x")),
+        ]
+        result = run_spmd(program(body), 1, lambda r: [], machine=machine)
+        assert result.sim.finish_times_us[0] == pytest.approx(2.0)
+
+    def test_loop_iterations_cost(self):
+        machine = MachineParams.free_messages().with_(op_us=1.0, mem_us=0.0)
+        body = [
+            NFor("i", NConst(1), NConst(10), NConst(1), []),
+            NReturn(NConst(0)),
+        ]
+        result = run_spmd(program(body), 1, lambda r: [], machine=machine)
+        # One op per iteration for increment+test.
+        assert result.sim.finish_times_us[0] == pytest.approx(10.0)

@@ -1,0 +1,76 @@
+"""Tests for scatter/gather between global arrays and local parts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distrib import (
+    BlockCols,
+    BlockCyclicCols,
+    WrappedCols,
+    WrappedRows,
+    WrappedVector,
+)
+from repro.errors import MappingError
+from repro.runtime import IStructure
+from repro.spmd.layout import gather, make_full, scatter
+
+DISTS = [WrappedCols(), WrappedRows(), BlockCols(), BlockCyclicCols(2)]
+
+
+class TestMakeFull:
+    def test_constant_fill(self):
+        a = make_full((2, 3), 7)
+        assert a.to_nested() == [[7, 7, 7], [7, 7, 7]]
+
+    def test_callable_fill(self):
+        a = make_full((2, 2), lambda i, j: 10 * i + j)
+        assert a.to_nested() == [[11, 12], [21, 22]]
+
+    def test_vector(self):
+        v = make_full((3,), lambda i: i * i)
+        assert v.to_list() == [1, 4, 9]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dist", DISTS, ids=str)
+    @given(
+        rows=st.integers(1, 7),
+        cols=st.integers(1, 7),
+        nprocs=st.integers(1, 4),
+    )
+    def test_scatter_gather_identity(self, dist, rows, cols, nprocs):
+        source = make_full((rows, cols), lambda i, j: i * 100 + j)
+        parts = scatter(source, dist, nprocs)
+        back = gather(parts, dist, nprocs, (rows, cols))
+        assert back.to_nested() == source.to_nested()
+
+    def test_partial_definition_preserved(self):
+        source = IStructure((3, 3), name="partial")
+        source.write(1, 1, 5)
+        source.write(3, 2, 6)
+        dist = WrappedCols()
+        parts = scatter(source, dist, 2)
+        back = gather(parts, dist, 2, (3, 3))
+        assert back.is_defined(1, 1) and back.read(1, 1) == 5
+        assert back.is_defined(3, 2) and back.read(3, 2) == 6
+        assert back.defined_count == 2
+
+    def test_vector_round_trip(self):
+        dist = WrappedVector()
+        source = make_full((9,), lambda i: -i)
+        parts = scatter(source, dist, 4)
+        back = gather(parts, dist, 4, (9,))
+        assert back.to_list() == source.to_list()
+
+    def test_gather_wrong_part_count(self):
+        dist = WrappedCols()
+        parts = scatter(make_full((2, 2), 1), dist, 2)
+        with pytest.raises(MappingError, match="parts"):
+            gather(parts, dist, 3, (2, 2))
+
+    def test_parts_sized_by_alloc(self):
+        dist = WrappedCols()
+        parts = scatter(make_full((4, 6), 0), dist, 4)
+        for part in parts:
+            assert part.shape == dist.alloc_shape((4, 6), 4)

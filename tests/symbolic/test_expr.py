@@ -1,0 +1,147 @@
+"""Unit tests for symbolic expression construction and evaluation."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.symbolic import (
+    Add,
+    Const,
+    Eq,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    sym,
+)
+
+
+class TestCoercion:
+    def test_int_becomes_const(self):
+        assert sym(7) == Const(7)
+
+    def test_str_becomes_var(self):
+        assert sym("j") == Var("j")
+
+    def test_expr_passes_through(self):
+        e = Var("i") + 1
+        assert sym(e) is e
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            sym(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            sym(3.5)
+
+
+class TestOperators:
+    def test_add_builds_node(self):
+        e = Var("i") + 3
+        assert isinstance(e, Add)
+        assert e.evaluate({"i": 4}) == 7
+
+    def test_radd(self):
+        assert (3 + Var("i")).evaluate({"i": 4}) == 7
+
+    def test_sub(self):
+        assert (Var("i") - 3).evaluate({"i": 4}) == 1
+
+    def test_rsub(self):
+        assert (10 - Var("i")).evaluate({"i": 4}) == 6
+
+    def test_mul(self):
+        e = Var("i") * 5
+        assert isinstance(e, Mul)
+        assert e.evaluate({"i": 4}) == 20
+
+    def test_neg(self):
+        assert (-Var("i")).evaluate({"i": 4}) == -4
+
+    def test_floordiv_floor_semantics(self):
+        assert (Var("i") // 4).evaluate({"i": -1}) == -1
+
+    def test_mod_sign_of_divisor(self):
+        # Python semantics: (-1) mod 4 == 3, what ring wrapping needs.
+        assert (Var("i") % 4).evaluate({"i": -1}) == 3
+
+    def test_min_max(self):
+        env = {"a": 3, "b": 9}
+        assert Min((Var("a"), Var("b"))).evaluate(env) == 3
+        assert Max((Var("a"), Var("b"))).evaluate(env) == 9
+
+
+class TestEvaluate:
+    def test_unbound_variable_raises(self):
+        with pytest.raises(SolverError):
+            Var("zzz").evaluate({})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SolverError):
+            FloorDiv(Const(1), Const(0)).evaluate({})
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(SolverError):
+            Mod(Const(1), Const(0)).evaluate({})
+
+    def test_nested(self):
+        e = (Var("j") - 1) % Var("S")
+        assert e.evaluate({"j": 1, "S": 4}) == 0
+        assert e.evaluate({"j": 0, "S": 4}) == 3
+
+
+class TestSubstitution:
+    def test_subst_var(self):
+        e = (Var("j") + 1) % Var("S")
+        out = e.subst({"j": Const(7)})
+        assert out.evaluate({"S": 4}) == 0
+
+    def test_subst_accepts_ints(self):
+        e = Var("j") + Var("k")
+        assert e.subst({"j": 2, "k": 3}).evaluate({}) == 5
+
+    def test_subst_leaves_others(self):
+        e = Var("j") + Var("k")
+        out = e.subst({"j": 1})
+        assert out.free_vars() == frozenset({"k"})
+
+
+class TestFreeVars:
+    def test_collects_all(self):
+        e = Min((Var("a") + Var("b"), Mod(Var("c"), Const(4))))
+        assert e.free_vars() == frozenset({"a", "b", "c"})
+
+    def test_const_has_none(self):
+        assert Const(3).free_vars() == frozenset()
+
+
+class TestBoolExpr:
+    def test_relations(self):
+        env = {"x": 3}
+        assert Var("x").eq(3).evaluate(env)
+        assert Var("x").ne(4).evaluate(env)
+        assert Var("x").le(3).evaluate(env)
+        assert Var("x").lt(4).evaluate(env)
+        assert Var("x").ge(3).evaluate(env)
+        assert Var("x").gt(2).evaluate(env)
+
+    def test_connectives(self):
+        env = {"x": 3}
+        cond = Var("x").gt(0).and_(Var("x").lt(10))
+        assert cond.evaluate(env)
+        assert not cond.not_().evaluate(env)
+        assert cond.or_(Var("x").eq(99)).evaluate(env)
+
+    def test_subst(self):
+        cond = Eq(Var("x"), Const(3)).subst({"x": 3})
+        assert cond.evaluate({})
+
+    def test_free_vars(self):
+        cond = Var("x").gt(0).and_(Var("y").lt(10))
+        assert cond.free_vars() == frozenset({"x", "y"})
+
+    def test_str_forms(self):
+        assert str(Var("x").eq(3)) == "x = 3"
+        assert "and" in str(Var("x").gt(0).and_(Var("x").lt(9)))

@@ -1,0 +1,268 @@
+"""Unit and property tests for the simplifier and decision procedure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Const,
+    Eq,
+    Le,
+    Lt,
+    Max,
+    Min,
+    Mod,
+    Var,
+    decide,
+    simplify,
+    simplify_bool,
+)
+from repro.symbolic.expr import And, BoolConst, FloorDiv, Not, Or
+from repro.symbolic.simplify import Facts, prove_le, prove_lt
+
+
+i = Var("i")
+j = Var("j")
+p = Var("p")
+S = Var("S")
+N = Var("N")
+
+
+class TestConstantFolding:
+    def test_add(self):
+        assert simplify(Const(2) + 3) == Const(5)
+
+    def test_mul(self):
+        assert simplify(Const(2) * 3) == Const(6)
+
+    def test_mixed(self):
+        assert simplify((Const(2) + 3) * 4) == Const(20)
+
+    def test_div(self):
+        assert simplify(Const(7) // 2) == Const(3)
+        assert simplify(Const(-7) // 2) == Const(-4)
+
+    def test_mod(self):
+        assert simplify(Const(7) % 3) == Const(1)
+        assert simplify(Const(-1) % 4) == Const(3)
+
+    def test_min_max(self):
+        assert simplify(Min((Const(3), Const(7)))) == Const(3)
+        assert simplify(Max((Const(3), Const(7)))) == Const(7)
+
+
+class TestAffineNormalization:
+    def test_collect_like_terms(self):
+        assert simplify(i + i + i) == simplify(i * 3)
+
+    def test_cancellation(self):
+        assert simplify(i - i) == Const(0)
+
+    def test_constant_gathering(self):
+        assert simplify((i + 2) + (3 - i)) == Const(5)
+
+    def test_distribution(self):
+        assert simplify((i + 1) * 2) == simplify(i * 2 + 2)
+
+    def test_nested_distribution(self):
+        assert simplify(3 * (i + j) - 3 * j) == simplify(i * 3)
+
+    def test_mul_zero(self):
+        assert simplify(i * 0) == Const(0)
+
+    def test_canonical_order_is_deterministic(self):
+        assert simplify(i + j) == simplify(j + i)
+
+
+class TestDivSimplification:
+    def test_div_by_one(self):
+        assert simplify(i // 1) == i
+
+    def test_exact_affine_divide(self):
+        assert simplify((i * 4 + 8) // 4) == simplify(i + 2)
+
+    def test_mod_div_cancels(self):
+        assert simplify(FloorDiv(Mod(i, Const(8)), Const(8))) == Const(0)
+
+    def test_inexact_left_alone(self):
+        e = simplify((i + 1) // 4)
+        assert isinstance(e, FloorDiv)
+
+
+class TestModSimplification:
+    def test_mod_one(self):
+        assert simplify(i % 1) == Const(0)
+
+    def test_coefficient_reduction(self):
+        # (i*8 + 3) mod 4 == (0*i + 3) mod 4 == 3
+        assert simplify((i * 8 + 3) % 4) == Const(3)
+
+    def test_symbolic_multiple_drops(self):
+        # (p + S*k) mod S == p mod S
+        k = Var("k")
+        assert simplify((p + S * k) % S) == simplify(p % S)
+
+    def test_mod_of_mod(self):
+        assert simplify(Mod(Mod(i, Const(4)), Const(4))) == simplify(Mod(i, Const(4)))
+
+    def test_mod_within_range_folds_with_bounds(self):
+        facts = Facts().with_bound("p", Const(0), S - 1)
+        assert simplify(p % S, facts) == p
+
+    def test_mod_without_bounds_stays(self):
+        assert isinstance(simplify(p % S), Mod)
+
+    def test_congruence_substitution(self):
+        # j ≡ p (mod S) makes (j - 1) mod S rewrite to (p - 1) mod S
+        facts = Facts().with_congruence("j", S, p)
+        out = simplify((j - 1) % S, facts)
+        assert out == simplify((p - 1) % S, facts)
+
+    def test_congruence_plus_bounds_decides_owner(self):
+        facts = (
+            Facts()
+            .with_bound("p", Const(0), S - 1)
+            .with_congruence("j", S, p)
+        )
+        assert simplify(j % S, facts) == p
+
+
+class TestMinMaxPruning:
+    def test_dedupe(self):
+        assert simplify(Min((i, i))) == i
+
+    def test_dominated_dropped(self):
+        assert simplify(Min((i, i + 1))) == i
+        assert simplify(Max((i, i + 1))) == simplify(i + 1)
+
+    def test_flattening(self):
+        inner = Min((i, j))
+        assert simplify(Min((inner, i))) == simplify(Min((i, j)))
+
+
+class TestProver:
+    def test_le_constant(self):
+        assert prove_le(Const(2), Const(2))
+        assert not prove_le(Const(3), Const(2))
+
+    def test_le_with_bounds(self):
+        facts = Facts().with_bound("p", Const(0), S - 1)
+        assert prove_le(p, S - 1, facts)
+        assert prove_lt(p, S, facts)
+        assert prove_le(Const(0), p, facts)
+
+    def test_mod_bounds_built_in(self):
+        facts = Facts().with_bound("S", Const(1), None)
+        assert prove_le(Const(0), Mod(j, S), facts)
+        assert prove_lt(Mod(j, S), S, facts)
+
+    def test_unprovable_returns_false(self):
+        assert not prove_le(i, j)
+
+
+class TestDecide:
+    def test_true_equation(self):
+        assert decide(Eq(i + 1, i + 1)) is True
+
+    def test_false_equation(self):
+        assert decide(Eq(i + 1, i + 2)) is False
+
+    def test_inconclusive(self):
+        assert decide(Eq(i, j)) is None
+
+    def test_owner_guard_under_specialized_loop(self):
+        # The exact guard compile-time resolution must fold (paper §3.2):
+        # loop specialized to j ≡ p (mod S), guard (j mod S) = p.
+        facts = (
+            Facts()
+            .with_bound("p", Const(0), S - 1)
+            .with_bound("S", Const(1), None)
+            .with_congruence("j", S, p)
+        )
+        assert decide(Eq(Mod(j, S), p), facts) is True
+
+    def test_distinct_owners_decidably_false(self):
+        facts = (
+            Facts()
+            .with_bound("p", Const(0), S - 1)
+            .with_bound("S", Const(1), None)
+            .with_congruence("j", S, p)
+        )
+        # (j+1) mod S = p would mean (p+1) mod S = p: inconclusive in
+        # general (S=1 makes it true), so must NOT be decided False blindly.
+        assert decide(Eq(Mod(j + 1, S), p), facts) in (None, False)
+
+    def test_distinct_concrete_owners_false(self):
+        facts = (
+            Facts()
+            .with_bound("p", Const(0), Const(3))
+            .with_congruence("j", Const(4), p)
+        )
+        assert decide(Eq(Mod(j, Const(4)), p), facts) is True
+
+    def test_relations(self):
+        assert decide(Le(Const(1), Const(2))) is True
+        assert decide(Lt(Const(2), Const(2))) is False
+
+    def test_connectives(self):
+        t = BoolConst(True)
+        f = BoolConst(False)
+        assert decide(And((t, f))) is False
+        assert decide(Or((t, f))) is True
+        assert decide(Not(f)) is True
+        assert decide(And((t, Eq(i, j)))) is None
+
+    def test_simplify_bool_folds(self):
+        assert simplify_bool(Eq(i, i)) == BoolConst(True)
+        out = simplify_bool(And((BoolConst(True), Eq(i, j))))
+        assert out == Eq(i, j)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: simplification preserves meaning.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["i", "j", "k"])
+
+
+def _exprs(depth=0):
+    base = st.one_of(
+        st.integers(-20, 20).map(Const),
+        _names.map(Var),
+    )
+    if depth >= 3:
+        return base
+    sub = st.deferred(lambda: _exprs(depth + 1))
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda t: t[0] + t[1]),
+        st.tuples(sub, sub).map(lambda t: t[0] - t[1]),
+        st.tuples(sub, st.integers(-5, 5).map(Const)).map(lambda t: t[0] * t[1]),
+        st.tuples(sub, st.integers(1, 9).map(Const)).map(lambda t: t[0] % t[1]),
+        st.tuples(sub, st.integers(1, 9).map(Const)).map(lambda t: t[0] // t[1]),
+        st.tuples(sub, sub).map(lambda t: Min((t[0], t[1]))),
+        st.tuples(sub, sub).map(lambda t: Max((t[0], t[1]))),
+    )
+
+
+@given(e=_exprs(), env=st.fixed_dictionaries({n: st.integers(-50, 50) for n in ["i", "j", "k"]}))
+def test_simplify_preserves_value(e, env):
+    assert simplify(e).evaluate(env) == e.evaluate(env)
+
+
+@given(e=_exprs(), env=st.fixed_dictionaries({n: st.integers(-50, 50) for n in ["i", "j", "k"]}))
+def test_simplify_is_idempotent_on_value(e, env):
+    once = simplify(e)
+    twice = simplify(once)
+    assert twice.evaluate(env) == once.evaluate(env)
+
+
+@given(
+    a=_exprs(),
+    b=_exprs(),
+    env=st.fixed_dictionaries({n: st.integers(-50, 50) for n in ["i", "j", "k"]}),
+)
+def test_decide_is_sound(a, b, env):
+    verdict = decide(Eq(a, b))
+    truth = a.evaluate(env) == b.evaluate(env)
+    if verdict is not None:
+        assert verdict == truth

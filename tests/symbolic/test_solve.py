@@ -1,0 +1,209 @@
+"""Tests for the mapping-equation solver (loop-bound specialization)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import Const, Mod, StridedRange, Var, solve_membership
+from repro.symbolic.expr import FloorDiv
+from repro.symbolic.ranges import UNCONSTRAINED, BlockedRange
+from repro.symbolic.simplify import Facts
+
+
+j = Var("j")
+p = Var("p")
+S = Var("S")
+N = Var("N")
+
+
+def brute_force(target, rhs, var, lo, hi, env):
+    """Reference answer: iterate the whole range and test the equation."""
+    out = []
+    for v in range(lo, hi + 1):
+        scoped = dict(env)
+        scoped[var] = v
+        if target.evaluate(scoped) == rhs.evaluate(scoped):
+            out.append(v)
+    return out
+
+
+def solved_set(result, env):
+    if result is None:
+        raise AssertionError("solver was inconclusive")
+    assert not isinstance(result, type(UNCONSTRAINED))
+    return [v for v in result.iterate(env)]
+
+
+# S is the number of processors; the compiler always knows S >= 1.
+S_POSITIVE = Facts().with_bound("S", Const(1), None).with_bound("B", Const(1), None)
+
+
+class TestCyclic:
+    """The paper's wrapped-column mapping: col-map(i, j) = j mod S."""
+
+    def test_figure5_loop_bounds(self):
+        # for j = 2 to N-1 where j mod S = p  →  j = 2 + ((p-2) mod S), step S
+        result = solve_membership(Mod(j, S), p, "j", Const(2), N - 1, S_POSITIVE)
+        assert isinstance(result, StridedRange)
+        assert result.step == S
+        env = {"S": 4, "N": 16, "p": 2}
+        assert list(result.iterate(env)) == brute_force(
+            Mod(j, S), p, "j", 2, 15, env
+        )
+
+    def test_shifted_cyclic(self):
+        target = Mod(j - 1, S)
+        env = {"S": 4, "N": 20, "p": 3}
+        result = solve_membership(target, p, "j", Const(1), N, S_POSITIVE)
+        assert solved_set(result, env) == brute_force(target, p, "j", 1, 20, env)
+
+    def test_negated_cyclic(self):
+        target = Mod(Const(0) - j, S)
+        env = {"S": 5, "N": 23, "p": 2}
+        result = solve_membership(target, p, "j", Const(0), N, S_POSITIVE)
+        assert solved_set(result, env) == brute_force(target, p, "j", 0, 23, env)
+
+    def test_concrete_everything(self):
+        target = Mod(j, Const(4))
+        result = solve_membership(target, Const(1), "j", Const(0), Const(15))
+        assert list(result.iterate({})) == [1, 5, 9, 13]
+
+    def test_coefficient_with_inverse(self):
+        target = Mod(j * 3, Const(7))  # 3 invertible mod 7
+        env = {}
+        result = solve_membership(target, Const(2), "j", Const(0), Const(20))
+        assert solved_set(result, env) == brute_force(target, Const(2), "j", 0, 20, env)
+
+    def test_gcd_unsatisfiable_is_empty(self):
+        target = Mod(j * 2, Const(4))  # even residues only
+        result = solve_membership(target, Const(1), "j", Const(0), Const(20))
+        assert list(result.iterate({})) == []
+
+    def test_gcd_satisfiable(self):
+        target = Mod(j * 2, Const(4))
+        result = solve_membership(target, Const(2), "j", Const(0), Const(10))
+        assert list(result.iterate({})) == brute_force(
+            target, Const(2), "j", 0, 10, {}
+        )
+
+
+class TestBlock:
+    def test_block_ownership(self):
+        B = Var("B")
+        target = FloorDiv(j, B)
+        env = {"B": 8, "N": 32, "p": 2}
+        result = solve_membership(target, p, "j", Const(0), N - 1, S_POSITIVE)
+        assert isinstance(result, StridedRange)
+        assert solved_set(result, env) == list(range(16, 24))
+
+    def test_block_with_shift(self):
+        target = FloorDiv(j - 1, Const(4))
+        result = solve_membership(target, Const(0), "j", Const(1), Const(20))
+        assert list(result.iterate({})) == [1, 2, 3, 4]
+
+    def test_block_clamped_by_range(self):
+        target = FloorDiv(j, Const(8))
+        result = solve_membership(target, Const(0), "j", Const(3), Const(100))
+        assert list(result.iterate({})) == [3, 4, 5, 6, 7]
+
+
+class TestBlockCyclic:
+    def test_block_cyclic_shape(self):
+        target = Mod(FloorDiv(j, Const(4)), S)
+        env = {"S": 3, "p": 1}
+        result = solve_membership(target, p, "j", Const(0), Const(47), S_POSITIVE)
+        assert isinstance(result, BlockedRange)
+        assert list(result.iterate(env)) == brute_force(target, p, "j", 0, 47, env)
+
+    def test_block_cyclic_with_shift(self):
+        target = Mod(FloorDiv(j - 1, Const(4)), Const(2))
+        result = solve_membership(target, Const(0), "j", Const(1), Const(32))
+        assert list(result.iterate({})) == brute_force(
+            target, Const(0), "j", 1, 32, {}
+        )
+
+
+class TestAffine:
+    def test_single_owner_point(self):
+        result = solve_membership(j, Const(5), "j", Const(0), Const(10))
+        assert list(result.iterate({})) == [5]
+
+    def test_point_outside_range_is_empty(self):
+        result = solve_membership(j, Const(50), "j", Const(0), Const(10))
+        assert list(result.iterate({})) == []
+
+    def test_symbolic_point(self):
+        result = solve_membership(j + 1, p, "j", Const(0), N)
+        assert list(result.iterate({"p": 4, "N": 10})) == [3]
+
+    def test_negative_coefficient(self):
+        result = solve_membership(Const(10) - j, Const(7), "j", Const(0), Const(10))
+        assert list(result.iterate({})) == [3]
+
+
+class TestEdges:
+    def test_unconstrained(self):
+        result = solve_membership(p, p, "j", Const(0), N)
+        assert result is UNCONSTRAINED
+
+    def test_rhs_mentioning_var_is_inconclusive(self):
+        assert solve_membership(Mod(j, S), j, "j", Const(0), N) is None
+
+    def test_opaque_shape_is_inconclusive(self):
+        target = Mod(Mod(j, Const(3)), Const(2))
+        assert solve_membership(target, Const(1), "j", Const(0), N) is None
+
+    def test_unknown_modulus_sign_is_inconclusive(self):
+        M = Var("M")  # no positivity fact
+        assert solve_membership(Mod(j, M), p, "j", Const(0), N) is None
+
+    def test_positivity_fact_enables_symbolic_modulus(self):
+        M = Var("M")
+        facts = Facts().with_bound("M", Const(1), None)
+        result = solve_membership(Mod(j, M), p, "j", Const(0), N, facts)
+        assert isinstance(result, StridedRange)
+
+
+# ---------------------------------------------------------------------------
+# Property test: the solver always agrees with brute force.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    shift=st.integers(-5, 5),
+    modulus=st.integers(1, 8),
+    rhs=st.integers(0, 7),
+    lo=st.integers(-10, 10),
+    width=st.integers(0, 40),
+)
+def test_cyclic_solver_matches_brute_force(shift, modulus, rhs, lo, width):
+    target = Mod(j + shift, Const(modulus))
+    hi = lo + width
+    result = solve_membership(target, Const(rhs % modulus), "j", Const(lo), Const(hi))
+    expected = brute_force(target, Const(rhs % modulus), "j", lo, hi, {})
+    if result is UNCONSTRAINED:
+        # Legal only when membership truly does not depend on the variable.
+        assert expected in ([], list(range(lo, hi + 1)))
+    else:
+        assert list(result.iterate({})) == expected
+
+
+@given(
+    shift=st.integers(-5, 5),
+    block=st.integers(1, 6),
+    nprocs=st.integers(1, 5),
+    rhs_seed=st.integers(0, 100),
+    lo=st.integers(-5, 5),
+    width=st.integers(0, 60),
+)
+def test_block_cyclic_solver_matches_brute_force(
+    shift, block, nprocs, rhs_seed, lo, width
+):
+    target = Mod(FloorDiv(j + shift, Const(block)), Const(nprocs))
+    rhs = Const(rhs_seed % nprocs)
+    hi = lo + width
+    result = solve_membership(target, rhs, "j", Const(lo), Const(hi))
+    expected = brute_force(target, rhs, "j", lo, hi, {})
+    if result is UNCONSTRAINED:
+        assert expected in ([], list(range(lo, hi + 1)))
+    else:
+        assert list(result.iterate({})) == expected
