@@ -7,11 +7,19 @@ Usage::
     python -m repro.bench msgcount
     python -m repro.bench blocksize [--n 128] [--nprocs 8]
     python -m repro.bench timeline [--strategy optIII] [--n 24] [--nprocs 4]
+    python -m repro.bench speedup [--n 48] [--procs 2,4,8,16]
+
+Every measuring command takes ``--backend compiled|interp`` and the
+figure/speedup commands take ``--json PATH`` (``-`` for stdout) to dump
+the measurement points, including ``host_seconds``, as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
+from dataclasses import asdict
 
 from repro.bench.harness import STRATEGY_ORDER, measure, sweep_nprocs
 from repro.bench.report import format_series, format_table
@@ -21,16 +29,42 @@ def _parse_procs(text: str) -> list[int]:
     return [int(s) for s in text.split(",") if s]
 
 
+def _dump_json(payload: dict, path: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _series_payload(series, **meta) -> dict:
+    return {
+        **meta,
+        "series": {
+            strategy: [asdict(p) for p in points]
+            for strategy, points in series.items()
+        },
+    }
+
+
 def cmd_fig6(args) -> None:
     series = sweep_nprocs(
         ["runtime", "compile", "optI", "handwritten"],
         args.n,
         _parse_procs(args.procs),
         blksize=args.blksize,
+        backend=args.backend,
     )
     print(format_series(series, "time_ms", f"Figure 6 (N={args.n}, ms)"))
     print()
     print(format_series(series, "messages", "messages"))
+    if args.json:
+        _dump_json(
+            _series_payload(series, figure="fig6", n=args.n,
+                            backend=args.backend),
+            args.json,
+        )
 
 
 def cmd_fig7(args) -> None:
@@ -39,17 +73,102 @@ def cmd_fig7(args) -> None:
         args.n,
         _parse_procs(args.procs),
         blksize=args.blksize,
+        backend=args.backend,
     )
     print(format_series(series, "time_ms", f"Figure 7 (N={args.n}, ms)"))
     print()
     print(format_series(series, "messages", "messages"))
+    if args.json:
+        _dump_json(
+            _series_payload(series, figure="fig7", n=args.n,
+                            backend=args.backend),
+            args.json,
+        )
+
+
+def cmd_speedup(args) -> None:
+    """Time the full strategy sweep on both backends and report the ratio.
+
+    The simulated results must agree exactly; the host-seconds ratio is
+    the compiled backend's figure of merit tracked across PRs.
+    """
+    procs = _parse_procs(args.procs)
+    if not procs:
+        raise SystemExit("speedup: --procs must name at least one ring size")
+    # Warm program compilation, closure compilation, and layout plans so
+    # the timed region measures steady-state execution only.
+    for backend in ("interp", "compiled"):
+        sweep_nprocs(
+            STRATEGY_ORDER, args.n, procs[:1], blksize=args.blksize,
+            backend=backend,
+        )
+    sweeps = {}
+    totals = {}
+    for backend in ("interp", "compiled"):
+        t0 = time.perf_counter()
+        sweeps[backend] = sweep_nprocs(
+            STRATEGY_ORDER, args.n, procs, blksize=args.blksize,
+            backend=backend,
+        )
+        totals[backend] = time.perf_counter() - t0
+
+    def simulated(sweep):
+        return {
+            strategy: [(p.time_us, p.messages, p.bytes) for p in points]
+            for strategy, points in sweep.items()
+        }
+
+    if simulated(sweeps["interp"]) != simulated(sweeps["compiled"]):
+        raise AssertionError("backends disagree on simulated results")
+
+    exec_host = {
+        backend: sum(p.host_seconds for ps in sweep.values() for p in ps)
+        for backend, sweep in sweeps.items()
+    }
+    ratio = exec_host["interp"] / exec_host["compiled"]
+    rows = [
+        {
+            "backend": backend,
+            "exec_host_s": f"{exec_host[backend]:.3f}",
+            "sweep_wall_s": f"{totals[backend]:.3f}",
+        }
+        for backend in ("interp", "compiled")
+    ]
+    print(
+        format_table(
+            rows,
+            ["backend", "exec_host_s", "sweep_wall_s"],
+            f"backend speedup (N={args.n}, S in {procs}): "
+            f"{ratio:.2f}x",
+        )
+    )
+    if args.json:
+        _dump_json(
+            {
+                "n": args.n,
+                "procs": procs,
+                "blksize": args.blksize,
+                "strategies": STRATEGY_ORDER,
+                "exec_host_seconds": exec_host,
+                "sweep_wall_seconds": totals,
+                "speedup": ratio,
+                "points": {
+                    backend: [
+                        asdict(p) for ps in sweep.values() for p in ps
+                    ]
+                    for backend, sweep in sweeps.items()
+                },
+            },
+            args.json,
+        )
 
 
 def cmd_msgcount(args) -> None:
     rows = []
     for strategy, nprocs in (("runtime", 2), ("compile", 2),
                              ("optIII", 4), ("handwritten", 4)):
-        point = measure(strategy, 128, nprocs, blksize=8)
+        point = measure(strategy, 128, nprocs, blksize=8,
+                        backend=args.backend)
         rows.append({"strategy": strategy, "messages": point.messages})
     print(
         format_table(
@@ -62,7 +181,8 @@ def cmd_msgcount(args) -> None:
 def cmd_blocksize(args) -> None:
     rows = []
     for blk in (1, 2, 4, 8, 16, 32):
-        point = measure("optIII", args.n, args.nprocs, blksize=blk)
+        point = measure("optIII", args.n, args.nprocs, blksize=blk,
+                        backend=args.backend)
         rows.append(
             {
                 "blksize": blk,
@@ -106,6 +226,7 @@ def cmd_timeline(args) -> None:
         params={"N": args.n},
         extra_globals={"blksize": args.blksize},
         trace=True,
+        backend=args.backend,
     )
     print(render_timeline(outcome.sim, label=args.strategy))
     print(
@@ -127,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         ("msgcount", cmd_msgcount),
         ("blocksize", cmd_blocksize),
         ("timeline", cmd_timeline),
+        ("speedup", cmd_speedup),
     ):
         cmd = sub.add_parser(name)
         cmd.set_defaults(fn=fn)
@@ -134,6 +256,15 @@ def main(argv: list[str] | None = None) -> int:
         cmd.add_argument("--procs", type=str, default="2,4,8,16")
         cmd.add_argument("--nprocs", type=int, default=8)
         cmd.add_argument("--blksize", type=int, default=8)
+        cmd.add_argument(
+            "--backend", choices=["compiled", "interp"], default="compiled"
+        )
+        if name in ("fig6", "fig7", "speedup"):
+            cmd.add_argument(
+                "--json", type=str, default=None, metavar="PATH",
+                help="also dump the measurement points as JSON "
+                     "('-' for stdout)",
+            )
         if name == "timeline":
             cmd.add_argument(
                 "--strategy",

@@ -17,6 +17,7 @@ oracle — a benchmark that produced wrong answers would be worthless.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -47,7 +48,13 @@ _COMPILED = {
 
 @dataclass(frozen=True)
 class MeasurePoint:
-    """One simulated execution."""
+    """One simulated execution.
+
+    ``time_us`` is *simulated* microseconds (deterministic);
+    ``host_seconds`` is the host wall-clock spent executing the
+    simulation (excluding problem setup and verification), recorded so
+    ``BENCH_*.json`` tracks the performance trajectory across PRs.
+    """
 
     strategy: str
     n: int
@@ -56,6 +63,8 @@ class MeasurePoint:
     time_us: float
     messages: int
     bytes: int
+    host_seconds: float = 0.0
+    backend: str = "compiled"
 
     @property
     def time_ms(self) -> float:
@@ -82,6 +91,7 @@ def measure(
     machine: MachineParams | None = None,
     source: str | None = None,
     verify: bool = True,
+    backend: str = "compiled",
 ) -> MeasurePoint:
     """Run one strategy on the N x N wavefront problem and measure it."""
     machine = machine or MachineParams.ipsc2()
@@ -91,13 +101,16 @@ def measure(
     if strategy == "handwritten":
         program = gs.handwritten_wavefront()
         parts = scatter(old, gs.DISTRIBUTION, nprocs, name="Old")
+        host_t0 = time.perf_counter()
         result = run_spmd(
             program,
             nprocs,
             lambda rank: [parts[rank]],
             machine=machine,
             globals_={"N": n, "blksize": blksize, "c": 1, "bval": 1},
+            backend=backend,
         )
+        host_seconds = time.perf_counter() - host_t0
         if verify:
             new = gather(result.returned, gs.DISTRIBUTION, nprocs, (n, n))
             _check(new, expected, strategy)
@@ -108,6 +121,7 @@ def measure(
         # Promise S >= 2 only when we actually run more than one processor.
         assume_min = 2 if nprocs >= 2 else 1
         compiled = _compiled(strategy, source or gs.SOURCE, assume_min)
+        host_t0 = time.perf_counter()
         outcome = execute(
             compiled,
             nprocs,
@@ -115,7 +129,9 @@ def measure(
             params={"N": n},
             machine=machine,
             extra_globals={"blksize": blksize},
+            backend=backend,
         )
+        host_seconds = time.perf_counter() - host_t0
         if verify:
             _check(outcome.value, expected, strategy)
         time_us = outcome.makespan_us
@@ -130,6 +146,8 @@ def measure(
         time_us=time_us,
         messages=messages,
         bytes=nbytes,
+        host_seconds=host_seconds,
+        backend=backend,
     )
 
 
@@ -144,11 +162,15 @@ def sweep_nprocs(
     proc_counts: list[int],
     blksize: int = 8,
     machine: MachineParams | None = None,
+    backend: str = "compiled",
 ) -> dict[str, list[MeasurePoint]]:
     """One series per strategy over the given ring sizes."""
     return {
         strategy: [
-            measure(strategy, n, nprocs, blksize=blksize, machine=machine)
+            measure(
+                strategy, n, nprocs, blksize=blksize, machine=machine,
+                backend=backend,
+            )
             for nprocs in proc_counts
         ]
         for strategy in strategies

@@ -49,6 +49,7 @@ def execute(
     max_steps: int = 50_000_000,
     specialize: bool = False,
     placement: list[int] | None = None,
+    backend: str = "compiled",
 ) -> ExecutionOutcome:
     """Execute ``compiled`` on ``nprocs`` processors.
 
@@ -60,7 +61,8 @@ def execute(
     ``specialize=True`` partially evaluates the program per rank first
     (the paper's per-processor code generation), removing guard overhead.
     ``placement`` maps the ``nprocs`` processes onto fewer physical
-    processors (paper §5.3-5.4).
+    processors (paper §5.3-5.4). ``backend`` selects the execution
+    engine (see :func:`repro.spmd.interp.run_spmd`).
     """
     inputs = inputs or {}
     params = dict(params or {})
@@ -128,6 +130,7 @@ def execute(
         trace=trace,
         max_steps=max_steps,
         placement=placement,
+        backend=backend,
     )
 
     if compiled.entry_return_array is not None:

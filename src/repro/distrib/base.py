@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import MappingError
 from repro.symbolic import Expr, sym
+from repro.symbolic.expr import Add, Const, FloorDiv, Max, Min, Mod, Mul, Var
 
 
 # ---------------------------------------------------------------------------
@@ -115,6 +117,18 @@ class Distribution:
         exprs = self.alloc_shape_expr(_shape_vars(len(shape)), _NPROCS)
         return tuple(e.evaluate(env) for e in exprs)
 
+    def mapper(self, nprocs: int, shape: tuple[int, ...]):
+        """Fast concrete ``(owner_of, local_of)`` callables over cells.
+
+        ``S`` and the array extents are substituted into the symbolic
+        forms once and the residual expressions (free only in the cell
+        indices) are compiled to closures, so bulk scatter/gather pays
+        per-cell arithmetic instead of per-cell symbolic evaluation.
+        Results are memoized per (distribution, nprocs, shape).
+        """
+        self._check_rank(tuple(shape))
+        return _mapper(self, nprocs, tuple(shape))
+
     def __str__(self) -> str:
         return self.name
 
@@ -145,3 +159,109 @@ def _env(indices: tuple[int, ...], nprocs: int, shape: tuple[int, ...]) -> dict:
 def ceil_div(a: Expr, b: Expr) -> Expr:
     """``ceil(a / b)`` for positive b, as a symbolic expression."""
     return (a + b - 1) // b
+
+
+# ---------------------------------------------------------------------------
+# Compiled cell mappers (bulk scatter/gather fast path)
+# ---------------------------------------------------------------------------
+
+
+def _cell_fn(e: Expr):
+    """Compile an expression free only in ``__i1``/``__i2``… to a closure
+    over the cell tuple. Mirrors ``Expr.evaluate`` exactly, including the
+    division/modulo-by-zero errors."""
+    if isinstance(e, Const):
+        value = e.value
+
+        def fn(cell, _v=value):
+            return _v
+        return fn
+    if isinstance(e, Var):
+        k = int(e.name[3:]) - 1  # "__i<k>"
+
+        def fn(cell, _k=k):
+            return cell[_k]
+        return fn
+    if isinstance(e, Add):
+        fns = [_cell_fn(a) for a in e.args]
+        if len(fns) == 2:
+            f0, f1 = fns
+
+            def fn(cell):
+                return f0(cell) + f1(cell)
+            return fn
+
+        def fn(cell, _fns=tuple(fns)):
+            return sum(f(cell) for f in _fns)
+        return fn
+    if isinstance(e, Mul):
+        fns = [_cell_fn(a) for a in e.args]
+        if len(fns) == 2:
+            f0, f1 = fns
+
+            def fn(cell):
+                return f0(cell) * f1(cell)
+            return fn
+
+        def fn(cell, _fns=tuple(fns)):
+            product = 1
+            for f in _fns:
+                product *= f(cell)
+            return product
+        return fn
+    if isinstance(e, (FloorDiv, Mod)):
+        numf = _cell_fn(e.num)
+        denf = _cell_fn(e.den)
+        is_div = isinstance(e, FloorDiv)
+
+        def fn(cell):
+            d = denf(cell)
+            if d == 0:
+                from repro.errors import SolverError
+
+                kind = "division" if is_div else "modulo"
+                raise SolverError(f"symbolic {kind} by zero")
+            return numf(cell) // d if is_div else numf(cell) % d
+        return fn
+    if isinstance(e, (Min, Max)):
+        fns = tuple(_cell_fn(a) for a in e.args)
+        pick = min if isinstance(e, Min) else max
+
+        def fn(cell, _fns=fns, _pick=pick):
+            return _pick(f(cell) for f in _fns)
+        return fn
+
+    # Anything else (an exotic Expr subclass) falls back to evaluate().
+    def fn(cell, _e=e):
+        return _e.evaluate(
+            {f"__i{k + 1}": v for k, v in enumerate(cell)}
+        )
+    return fn
+
+
+@lru_cache(maxsize=256)
+def _mapper(dist: Distribution, nprocs: int, shape: tuple[int, ...]):
+    subst = {"S": nprocs}
+    for k, extent in enumerate(shape):
+        subst[f"__n{k + 1}"] = extent
+    idx = _index_vars(dist.rank)
+    shp = _shape_vars(len(shape))
+    owner_of = _cell_fn(dist.owner_expr(idx, _NPROCS, shp).subst(subst))
+    local_fns = tuple(
+        _cell_fn(e.subst(subst))
+        for e in dist.local_expr(idx, _NPROCS, shp)
+    )
+    if len(local_fns) == 1:
+        l0 = local_fns[0]
+
+        def local_of(cell):
+            return (l0(cell),)
+    elif len(local_fns) == 2:
+        l0, l1 = local_fns
+
+        def local_of(cell):
+            return (l0(cell), l1(cell))
+    else:
+        def local_of(cell):
+            return tuple(f(cell) for f in local_fns)
+    return owner_of, local_of

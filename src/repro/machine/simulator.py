@@ -147,20 +147,38 @@ class Simulator:
         ncpus = max(placement) + 1 if placement else 1
         if any(not 0 <= cpu < ncpus for cpu in placement):
             raise SimulationError(f"bad placement {placement}")
-        self._cpu_clock = [0.0] * ncpus
-        self._cpu_busy = [0.0] * ncpus
+        cpu_clock = self._cpu_clock = [0.0] * ncpus
+        cpu_busy = self._cpu_busy = [0.0] * ncpus
         procs = [
             _Proc(rank, factory(rank), placement[rank])
             for rank in range(self.nprocs)
         ]
         self._placement = placement
+        # READY processes per CPU, maintained on every status transition
+        # so the §5.4 deferral test is O(1) instead of a scan over all
+        # processes on every receive.
+        ready_count = [0] * ncpus
+        for cpu in placement:
+            ready_count[cpu] += 1
+        self._ready_count = ready_count
         # (src, dst, channel) -> deque of (arrival_time, payload)
         queues: dict[ChannelKey, deque] = defaultdict(deque)
         blocked_on: dict[ChannelKey, list[_Proc]] = defaultdict(list)
         stats = MessageStats()
         trace: list[TraceEvent] = []
-        params = self.params
         steps = 0
+
+        # Loop invariants, hoisted: the effect dispatch below runs once
+        # per yielded effect and dominates simulation wall-clock.
+        nprocs = self.nprocs
+        max_steps = self.max_steps
+        trace_enabled = self.trace_enabled
+        params = self.params
+        mem_us = params.mem_us
+        latency_us = params.latency_us
+        recv_overhead_us = params.message_cost_recv()
+        scalar_bytes = params.scalar_bytes
+        send_cost: dict[int, float] = {}  # payload length -> sender cost
 
         ready = deque(procs)
         while ready:
@@ -169,7 +187,7 @@ class Simulator:
                 continue
             while proc.status is _Status.READY:
                 steps += 1
-                if steps > self.max_steps:
+                if steps > max_steps:
                     raise SimulationError(
                         f"simulation exceeded {self.max_steps} steps "
                         "(livelock or runaway program?)"
@@ -185,9 +203,10 @@ class Simulator:
                         effect = next(proc.gen)
                 except StopIteration as stop:
                     proc.status = _Status.DONE
+                    ready_count[proc.cpu] -= 1
                     proc.returned = stop.value
-                    proc.finish = self._cpu_clock[proc.cpu]
-                    if self.trace_enabled:
+                    proc.finish = cpu_clock[proc.cpu]
+                    if trace_enabled:
                         trace.append(
                             TraceEvent(proc.finish, proc.rank, "done", "")
                         )
@@ -198,31 +217,148 @@ class Simulator:
                     proc.status = _Status.FAILED
                     raise NodeRuntimeError(str(err), proc=proc.rank) from err
 
-                if isinstance(effect, Compute):
-                    self._cpu_clock[proc.cpu] += effect.cost_us
-                    self._cpu_busy[proc.cpu] += effect.cost_us
-                    proc.busy += effect.cost_us
-                    proc.finish = self._cpu_clock[proc.cpu]
-                elif isinstance(effect, Send):
-                    self._do_send(
-                        proc, effect, queues, blocked_on, ready, stats, trace
-                    )
-                elif isinstance(effect, Recv):
-                    outcome = self._handle_recv(
-                        proc, effect, queues, procs, trace
-                    )
-                    if outcome == "blocked":
-                        key = ChannelKey(effect.src, proc.rank, effect.channel)
+                cls = type(effect)
+                if cls is not Compute and cls is not Send and cls is not Recv:
+                    # Subclassed effects are legal but rare; normalise so
+                    # the hot dispatch below is pure identity checks.
+                    if isinstance(effect, Compute):
+                        cls = Compute
+                    elif isinstance(effect, Send):
+                        cls = Send
+                    elif isinstance(effect, Recv):
+                        cls = Recv
+                if cls is Compute:
+                    cost = effect.cost_us
+                    cpu = proc.cpu
+                    cpu_clock[cpu] += cost
+                    cpu_busy[cpu] += cost
+                    proc.busy += cost
+                    proc.finish = cpu_clock[cpu]
+                elif cls is Send:
+                    dst = effect.dst
+                    if not 0 <= dst < nprocs:
+                        raise NodeRuntimeError(
+                            f"send to invalid processor {dst}", proc=proc.rank
+                        )
+                    if dst == proc.rank:
+                        raise NodeRuntimeError(
+                            f"self-send on channel {effect.channel!r} "
+                            "(a local access must not become a message)",
+                            proc=proc.rank,
+                        )
+                    payload = effect.payload
+                    plen = len(payload)
+                    cpu = proc.cpu
+                    local = placement[dst] == cpu
+                    if local:
+                        # Co-located processes exchange data through
+                        # memory: only a copy cost, no message start-up
+                        # and no network latency.
+                        cost = mem_us * plen
+                        arrival_delay = 0.0
+                    else:
+                        cost = send_cost.get(plen)
+                        if cost is None:
+                            cost = send_cost[plen] = params.message_cost_send(
+                                plen * scalar_bytes
+                            )
+                        arrival_delay = latency_us
+                    clock = cpu_clock[cpu] + cost
+                    cpu_clock[cpu] = clock
+                    cpu_busy[cpu] += cost
+                    proc.busy += cost
+                    proc.finish = clock
+                    key = ChannelKey(proc.rank, dst, effect.channel)
+                    queues[key].append((clock + arrival_delay, payload))
+                    if not local:
+                        # Local deliveries are memory copies, not network
+                        # messages.
+                        stats.record(key, plen * scalar_bytes)
+                    if trace_enabled:
+                        trace.append(
+                            TraceEvent(
+                                clock,
+                                proc.rank,
+                                "send",
+                                f"->{dst} {effect.channel} x{plen}",
+                            )
+                        )
+                    waiters = blocked_on.get(key)
+                    if waiters:
+                        # Wake the waiter; it re-issues its receive from
+                        # the main loop (which may then defer in favour
+                        # of co-located ready work).
+                        waiter = waiters.pop(0)
+                        waiter.status = _Status.READY
+                        ready_count[waiter.cpu] += 1
+                        waiter.waiting_on = None
+                        waiter.pending_effect = Recv(key.src, key.channel)
+                        ready.append(waiter)
+                elif cls is Recv:
+                    src = effect.src
+                    if not 0 <= src < nprocs:
+                        raise NodeRuntimeError(
+                            f"recv from invalid processor {src}",
+                            proc=proc.rank,
+                        )
+                    if src == proc.rank:
+                        raise NodeRuntimeError(
+                            f"self-receive on channel {effect.channel!r}",
+                            proc=proc.rank,
+                        )
+                    key = ChannelKey(src, proc.rank, effect.channel)
+                    queue = queues.get(key)
+                    cpu = proc.cpu
+                    if not queue:
+                        proc.deferred = False
                         proc.status = _Status.BLOCKED
+                        ready_count[cpu] -= 1
                         proc.waiting_on = key
                         blocked_on[key].append(proc)
-                    elif outcome == "deferred":
-                        # Let a co-located ready process use the idle time
-                        # before this receive's arrival (§5.4's latency
-                        # hiding); re-attempt the receive afterwards.
-                        proc.pending_effect = effect
-                        ready.append(proc)
-                        break
+                    else:
+                        arrival_time = queue[0][0]
+                        if (
+                            arrival_time > cpu_clock[cpu]
+                            and not proc.deferred
+                            # The receiver itself is READY, so a
+                            # co-located ready process exists exactly
+                            # when this CPU's ready count exceeds one.
+                            and ready_count[cpu] > 1
+                        ):
+                            # Let a co-located ready process use the idle
+                            # time before this receive's arrival (§5.4's
+                            # latency hiding); re-attempt the receive
+                            # afterwards.
+                            proc.deferred = True
+                            proc.pending_effect = effect
+                            ready.append(proc)
+                            break
+                        arrival_time, payload = queue.popleft()
+                        proc.deferred = False
+                        overhead = (
+                            mem_us * len(payload)
+                            if placement[src] == cpu
+                            else recv_overhead_us
+                        )
+                        clock = cpu_clock[cpu]
+                        if arrival_time > clock:
+                            clock = arrival_time
+                        clock += overhead
+                        cpu_clock[cpu] = clock
+                        cpu_busy[cpu] += overhead
+                        proc.busy += overhead
+                        proc.finish = clock
+                        proc.waiting_on = None
+                        proc.resume_value = payload
+                        if trace_enabled:
+                            trace.append(
+                                TraceEvent(
+                                    clock,
+                                    proc.rank,
+                                    "recv",
+                                    f"<-{src} {key.channel} x{len(payload)}",
+                                )
+                            )
                 else:
                     raise SimulationError(
                         f"process {proc.rank} yielded unknown effect {effect!r}"
@@ -248,134 +384,3 @@ class Simulator:
             cpu_finish_us=list(self._cpu_clock),
             cpu_busy_us=list(self._cpu_busy),
         )
-
-    # -- effect handlers -----------------------------------------------------
-    def _do_send(
-        self,
-        proc: _Proc,
-        effect: Send,
-        queues: dict[ChannelKey, deque],
-        blocked_on: dict[ChannelKey, list[_Proc]],
-        ready: deque,
-        stats: MessageStats,
-        trace: list[TraceEvent],
-    ) -> None:
-        if not 0 <= effect.dst < self.nprocs:
-            raise NodeRuntimeError(
-                f"send to invalid processor {effect.dst}", proc=proc.rank
-            )
-        if effect.dst == proc.rank:
-            raise NodeRuntimeError(
-                f"self-send on channel {effect.channel!r} "
-                "(a local access must not become a message)",
-                proc=proc.rank,
-            )
-        params = self.params
-        nbytes = len(effect.payload) * params.scalar_bytes
-        local = self._placement[effect.dst] == proc.cpu
-        if local:
-            # Co-located processes exchange data through memory: only a
-            # copy cost, no message start-up and no network latency.
-            cost = params.mem_us * len(effect.payload)
-            arrival_delay = 0.0
-        else:
-            cost = params.message_cost_send(nbytes)
-            arrival_delay = params.latency_us
-        self._cpu_clock[proc.cpu] += cost
-        self._cpu_busy[proc.cpu] += cost
-        proc.busy += cost
-        proc.finish = self._cpu_clock[proc.cpu]
-        arrival = self._cpu_clock[proc.cpu] + arrival_delay
-        key = ChannelKey(proc.rank, effect.dst, effect.channel)
-        queues[key].append((arrival, effect.payload))
-        if not local:
-            # Local deliveries are memory copies, not network messages.
-            stats.record(key, nbytes)
-        if self.trace_enabled:
-            trace.append(
-                TraceEvent(
-                    self._cpu_clock[proc.cpu],
-                    proc.rank,
-                    "send",
-                    f"->{effect.dst} {effect.channel} x{len(effect.payload)}",
-                )
-            )
-        waiters = blocked_on.get(key)
-        if waiters:
-            # Wake the waiter; it re-issues its receive from the main loop
-            # (which may then defer in favour of co-located ready work).
-            waiter = waiters.pop(0)
-            waiter.status = _Status.READY
-            waiter.waiting_on = None
-            waiter.pending_effect = Recv(key.src, key.channel)
-            ready.append(waiter)
-
-    def _handle_recv(
-        self,
-        proc: _Proc,
-        effect: Recv,
-        queues: dict[ChannelKey, deque],
-        procs: list[_Proc],
-        trace: list[TraceEvent],
-    ) -> str:
-        """Attempt a receive: "done", "blocked", or "deferred"."""
-        if not 0 <= effect.src < self.nprocs:
-            raise NodeRuntimeError(
-                f"recv from invalid processor {effect.src}", proc=proc.rank
-            )
-        if effect.src == proc.rank:
-            raise NodeRuntimeError(
-                f"self-receive on channel {effect.channel!r}", proc=proc.rank
-            )
-        key = ChannelKey(effect.src, proc.rank, effect.channel)
-        queue = queues.get(key)
-        if not queue:
-            proc.deferred = False
-            return "blocked"
-        arrival_time = queue[0][0]
-        if (
-            arrival_time > self._cpu_clock[proc.cpu]
-            and not proc.deferred
-            and any(
-                other is not proc
-                and other.cpu == proc.cpu
-                and other.status is _Status.READY
-                for other in procs
-            )
-        ):
-            proc.deferred = True
-            return "deferred"
-        arrival_time, payload = queue.popleft()
-        proc.deferred = False
-        self._complete_recv(proc, key, arrival_time, payload, trace)
-        return "done"
-
-    def _complete_recv(
-        self,
-        proc: _Proc,
-        key: ChannelKey,
-        arrival_time: float,
-        payload: tuple,
-        trace: list[TraceEvent],
-    ) -> None:
-        params = self.params
-        local = self._placement[key.src] == proc.cpu
-        overhead = (
-            params.mem_us * len(payload) if local else params.message_cost_recv()
-        )
-        cpu = proc.cpu
-        self._cpu_clock[cpu] = max(self._cpu_clock[cpu], arrival_time) + overhead
-        self._cpu_busy[cpu] += overhead
-        proc.busy += overhead
-        proc.finish = self._cpu_clock[cpu]
-        proc.waiting_on = None
-        proc.resume_value = payload
-        if self.trace_enabled:
-            trace.append(
-                TraceEvent(
-                    self._cpu_clock[cpu],
-                    proc.rank,
-                    "recv",
-                    f"<-{key.src} {key.channel} x{len(payload)}",
-                )
-            )

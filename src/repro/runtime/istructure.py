@@ -43,6 +43,22 @@ class IStructure:
 
     # -- indexing ---------------------------------------------------------
     def _offset(self, indices: tuple[int, ...]) -> int:
+        # Fast paths for the only ranks the language supports; anything
+        # unusual (rank mismatch, out of bounds) falls through to the
+        # error-reporting slow path.
+        shape = self.shape
+        if len(indices) == 2 and len(shape) == 2:
+            i, j = indices
+            d0, d1 = shape
+            if 1 <= i <= d0 and 1 <= j <= d1:
+                return (i - 1) * d1 + (j - 1)
+        elif len(indices) == 1 and len(shape) == 1:
+            i = indices[0]
+            if 1 <= i <= shape[0]:
+                return i - 1
+        return self._offset_slow(indices)
+
+    def _offset_slow(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.shape):
             raise IStructureError(
                 f"{self.name}: rank mismatch, got {len(indices)} indices "
@@ -131,6 +147,19 @@ class LocalArray:
         self._cells: list[object] = [_UNDEFINED] * size
 
     def _offset(self, indices: tuple[int, ...]) -> int:
+        shape = self.shape
+        if len(indices) == 2 and len(shape) == 2:
+            i, j = indices
+            d0, d1 = shape
+            if 1 <= i <= d0 and 1 <= j <= d1:
+                return (i - 1) * d1 + (j - 1)
+        elif len(indices) == 1 and len(shape) == 1:
+            i = indices[0]
+            if 1 <= i <= shape[0]:
+                return i - 1
+        return self._offset_slow(indices)
+
+    def _offset_slow(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.shape):
             raise IStructureError(
                 f"{self.name}: rank mismatch, got {len(indices)} indices "

@@ -38,12 +38,20 @@ from repro.spmd.ir import (
     NVar,
     VarLV,
 )
+from repro.spmd.compile import (
+    CompiledNode,
+    compile_cache_clear,
+    compile_cache_info,
+    compile_node_program,
+    compiled_node,
+)
 from repro.spmd.interp import SPMDResult, run_spmd
 from repro.spmd.pretty import pretty_program
 from repro.spmd.validate import validate_program
 
 __all__ = [
     "BufLV",
+    "CompiledNode",
     "IsLV",
     "NAllocBuf",
     "NAllocIs",
@@ -72,6 +80,10 @@ __all__ = [
     "NodeProgram",
     "SPMDResult",
     "VarLV",
+    "compile_cache_clear",
+    "compile_cache_info",
+    "compile_node_program",
+    "compiled_node",
     "pretty_program",
     "run_spmd",
     "validate_program",

@@ -370,6 +370,7 @@ def run_spmd(
     trace: bool = False,
     max_steps: int = 50_000_000,
     placement: list[int] | None = None,
+    backend: str = "compiled",
 ) -> SPMDResult:
     """Execute ``program`` on ``nprocs`` simulated processes.
 
@@ -379,14 +380,31 @@ def run_spmd(
     identically on every processor (the ALL mapping). ``placement``
     optionally maps the program's processes onto fewer physical
     processors (§5.3/5.4); the program still sees ``S = nprocs``.
+
+    ``backend`` selects the execution engine: ``"compiled"`` (default)
+    runs closures compiled once per (program, rank) by
+    :mod:`repro.spmd.compile`; ``"interp"`` is the tree-walking
+    reference interpreter, kept as the differential oracle.
     """
     machine = machine or MachineParams.ipsc2()
 
-    def factory(rank: int):
-        # ``program`` may be a per-rank factory (specialized programs).
-        node_program = program(rank) if callable(program) else program
-        node = _NodeMachine(node_program, rank, nprocs, machine, globals_ or {})
-        return node.run(list(make_args(rank)))
+    if backend == "compiled":
+        from repro.spmd.compile import compiled_node
+
+        def factory(rank: int):
+            node_program = program(rank) if callable(program) else program
+            node = compiled_node(node_program, rank, nprocs)
+            return node.start(list(make_args(rank)), machine, globals_ or {})
+    elif backend == "interp":
+        def factory(rank: int):
+            # ``program`` may be a per-rank factory (specialized programs).
+            node_program = program(rank) if callable(program) else program
+            node = _NodeMachine(node_program, rank, nprocs, machine, globals_ or {})
+            return node.run(list(make_args(rank)))
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected 'compiled' or 'interp')"
+        )
 
     sim = Simulator(nprocs, machine, trace=trace, max_steps=max_steps).run(
         factory, placement=placement

@@ -19,7 +19,7 @@ Design notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # ---------------------------------------------------------------------------
 # Expressions
@@ -120,18 +120,25 @@ LValue = VarLV | IsLV | BufLV
 
 
 class NStmt:
-    """Base class for node-program statements."""
+    """Base class for node-program statements.
+
+    Statements are frozen, slotted dataclasses: cheap to allocate and
+    (structurally) hashable, which the closure-compiling backend's
+    compilation cache relies on. Nodes carrying statement lists coerce
+    them to tuples on construction, so call sites may keep passing
+    lists. Rewrites always build fresh trees (see ``repro.spmd.rewrite``).
+    """
 
     __slots__ = ()
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NAssign(NStmt):
     target: LValue
     value: NExpr
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NAllocIs(NStmt):
     """Allocate this processor's local part of a distributed I-structure."""
 
@@ -139,7 +146,7 @@ class NAllocIs(NStmt):
     shape: tuple[NExpr, ...]
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NAllocBuf(NStmt):
     """Allocate a local scratch buffer (calloc in the paper's listings)."""
 
@@ -147,23 +154,30 @@ class NAllocBuf(NStmt):
     shape: tuple[NExpr, ...]
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NFor(NStmt):
     var: str
     lo: NExpr
     hi: NExpr
     step: NExpr
-    body: list[NStmt]
+    body: tuple[NStmt, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NIf(NStmt):
     cond: NExpr
-    then_body: list[NStmt]
-    else_body: list[NStmt] = field(default_factory=list)
+    then_body: tuple[NStmt, ...]
+    else_body: tuple[NStmt, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "then_body", tuple(self.then_body))
+        object.__setattr__(self, "else_body", tuple(self.else_body))
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NSend(NStmt):
     """``csend``: transmit scalar values to processor ``dst``."""
 
@@ -172,7 +186,7 @@ class NSend(NStmt):
     values: tuple[NExpr, ...]
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NRecv(NStmt):
     """``crecv``: block for one message from ``src``; store its scalars.
 
@@ -184,7 +198,7 @@ class NRecv(NStmt):
     targets: tuple[LValue, ...]
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NSendVec(NStmt):
     """Send buffer slots ``lo..hi`` (inclusive) as one message."""
 
@@ -195,7 +209,7 @@ class NSendVec(NStmt):
     hi: NExpr
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NRecvVec(NStmt):
     """Receive one message into buffer slots ``lo..hi`` (inclusive)."""
 
@@ -206,7 +220,7 @@ class NRecvVec(NStmt):
     hi: NExpr
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NCoerce(NStmt):
     """Run-time resolution's ``coerce`` (§3.1, Figure 4b).
 
@@ -224,7 +238,7 @@ class NCoerce(NStmt):
     channel: str
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NBroadcast(NStmt):
     """Owner sends ``value`` to every other processor; all store it.
 
@@ -238,7 +252,7 @@ class NBroadcast(NStmt):
     channel: str
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NCallProc(NStmt):
     """Invoke another node procedure.
 
@@ -253,14 +267,14 @@ class NCallProc(NStmt):
     array_result: str | None = None  # bind a returned array under this name
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NReturn(NStmt):
     """Return a scalar expression or an array (by name) from a procedure."""
 
     value: object | None = None  # NExpr | str (array name) | None
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NComment(NStmt):
     """A no-op annotation, preserved by the pretty printer."""
 
@@ -272,23 +286,34 @@ class NComment(NStmt):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class NodeProc:
     """One node-level procedure.
 
     ``params`` lists parameter names; ``array_params`` flags which of them
-    are arrays (bound by reference to local parts).
+    are arrays (bound by reference to local parts). Sequences are coerced
+    to immutable forms on construction, making procedures hashable.
     """
 
     name: str
-    params: list[str]
-    array_params: set[str] = field(default_factory=set)
-    body: list[NStmt] = field(default_factory=list)
+    params: tuple[str, ...]
+    array_params: frozenset[str] = frozenset()
+    body: tuple[NStmt, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "array_params", frozenset(self.array_params))
+        object.__setattr__(self, "body", tuple(self.body))
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class NodeProgram:
-    """A complete SPMD program: procedures plus an entry point."""
+    """A complete SPMD program: procedures plus an entry point.
+
+    ``eq=False`` keeps identity comparison/hashing (inherited from
+    ``object``): a program *is* its object, which is exactly the key the
+    closure-compiling backend's per-(program, rank) cache needs.
+    """
 
     name: str
     procs: dict[str, NodeProc]

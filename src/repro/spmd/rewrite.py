@@ -2,7 +2,7 @@
 
 Transformation passes (loop distribution, vectorization, strip mining)
 need to substitute expressions for variables and to copy statement trees.
-Statements are mutable dataclasses, so every rewrite builds fresh nodes.
+Statements are frozen dataclasses, so every rewrite builds fresh nodes.
 """
 
 from __future__ import annotations

@@ -107,3 +107,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert "optIII" in out
+
+
+class TestHostTiming:
+    def test_host_seconds_recorded(self):
+        point = measure("handwritten", 8, 2, blksize=2, machine=FREE)
+        assert point.host_seconds > 0.0
+        assert point.backend == "compiled"
+
+    def test_backend_recorded_and_results_identical(self):
+        interp = measure("optII", 8, 2, blksize=2, backend="interp")
+        compiled = measure("optII", 8, 2, blksize=2, backend="compiled")
+        assert interp.backend == "interp"
+        assert compiled.backend == "compiled"
+        assert (interp.time_us, interp.messages, interp.bytes) == (
+            compiled.time_us, compiled.messages, compiled.bytes,
+        )
+
+    def test_sweep_passes_backend_through(self):
+        series = sweep_nprocs(
+            ["handwritten"], 8, [2], blksize=2, machine=FREE,
+            backend="interp",
+        )
+        assert all(
+            p.backend == "interp" for p in series["handwritten"]
+        )

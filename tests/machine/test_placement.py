@@ -111,3 +111,58 @@ class TestPerProcessAccounting:
             result.cpu_busy_us[0]
         )
         assert result.busy_times_us[2] == pytest.approx(result.cpu_busy_us[1])
+
+
+class TestDeferredReceive:
+    """§5.4: a receive whose message arrives in the future yields the
+    processor to co-located ready work exactly once, then completes."""
+
+    MACHINE = MachineParams(
+        send_startup_us=0.0, recv_overhead_us=0.0, per_byte_us=0.0,
+        latency_us=100.0, op_us=1.0, mem_us=0.0,
+    )
+
+    @staticmethod
+    def _factory(rank):
+        def producer():
+            yield Compute(10.0)
+            yield Send(1, "x", (1,))
+            return None
+
+        def receiver():
+            yield Recv(0, "x")
+            yield Compute(5.0)
+            return None
+
+        def friend():
+            yield Compute(30.0)
+            return None
+
+        return [producer, receiver, friend][rank]()
+
+    def test_receive_defers_to_colocated_ready_work(self):
+        # Send completes at t=10, arrival t=110. The receiver defers to
+        # its co-located friend (30us), then completes the receive at the
+        # arrival and computes: makespan 115, not 145 (friend-after).
+        result = Simulator(3, self.MACHINE).run(
+            self._factory, placement=[0, 1, 1]
+        )
+        assert result.makespan_us == pytest.approx(115.0)
+        assert result.cpu_busy_us[1] == pytest.approx(35.0)
+
+    def test_no_deferral_without_colocated_ready_work(self):
+        # Alone on its processor, the receiver just waits for the
+        # arrival; the friend's processor finishes independently.
+        result = Simulator(3, self.MACHINE).run(
+            self._factory, placement=[0, 1, 2]
+        )
+        assert result.cpu_finish_us[1] == pytest.approx(115.0)
+        assert result.cpu_finish_us[2] == pytest.approx(30.0)
+        # Idle waiting is not busy time.
+        assert result.cpu_busy_us[1] == pytest.approx(5.0)
+
+    def test_ready_message_never_defers(self):
+        # A message already arrived (free machine: arrival <= clock)
+        # completes immediately even with co-located ready work.
+        result = Simulator(2, FREE).run(ping_pong_factory, placement=[0, 0])
+        assert result.returned[0] == 2

@@ -1,0 +1,85 @@
+"""The IR's immutability contract.
+
+The compiled backend caches compilations keyed on program identity and
+folds constants at compile time; both are only sound because IR nodes
+are frozen. These tests pin that frozen/hashable/coercing behaviour.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.spmd import (
+    NAssign,
+    NBin,
+    NConst,
+    NFor,
+    NIf,
+    NMyNode,
+    NodeProc,
+    NodeProgram,
+    NVar,
+    VarLV,
+)
+
+
+class TestFrozenExpressions:
+    def test_expressions_are_immutable(self):
+        e = NBin("+", NConst(1), NVar("x"))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            e.op = "-"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            e.left.value = 2
+
+    def test_expressions_are_hashable_by_value(self):
+        assert hash(NConst(3)) == hash(NConst(3))
+        assert NBin("+", NConst(1), NMyNode()) == NBin(
+            "+", NConst(1), NMyNode()
+        )
+        assert len({NConst(1), NConst(1), NConst(2)}) == 2
+
+    def test_expressions_use_slots(self):
+        e = NConst(1)
+        assert not hasattr(e, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            e.extra = 1
+
+
+class TestFrozenStatements:
+    def test_statements_are_immutable(self):
+        s = NAssign(VarLV("x"), NConst(1))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            s.value = NConst(2)
+
+    def test_for_body_coerced_to_tuple(self):
+        body = [NAssign(VarLV("x"), NConst(1))]
+        loop = NFor("i", NConst(1), NConst(3), NConst(1), body)
+        assert isinstance(loop.body, tuple)
+        body.append(NAssign(VarLV("y"), NConst(2)))  # no aliasing
+        assert len(loop.body) == 1
+
+    def test_if_branches_coerced_to_tuple(self):
+        stmt = NIf(
+            NConst(True),
+            [NAssign(VarLV("x"), NConst(1))],
+            [NAssign(VarLV("x"), NConst(2))],
+        )
+        assert isinstance(stmt.then_body, tuple)
+        assert isinstance(stmt.else_body, tuple)
+
+
+class TestProgramIdentity:
+    def _program(self):
+        proc = NodeProc(
+            "main", (), body=(NAssign(VarLV("x"), NConst(1)),)
+        )
+        return NodeProgram(name="p", procs={"main": proc}, entry="main")
+
+    def test_programs_hash_by_identity(self):
+        a, b = self._program(), self._program()
+        assert a != b
+        assert hash(a) != hash(b) or a is not b
+        assert len({a, b}) == 2
+
+    def test_proc_body_is_tuple(self):
+        assert isinstance(self._program().procs["main"].body, tuple)

@@ -74,3 +74,54 @@ class TestRoundTrip:
         parts = scatter(make_full((4, 6), 0), dist, 4)
         for part in parts:
             assert part.shape == dist.alloc_shape((4, 6), 4)
+
+
+class TestTransferPlanPaths:
+    """The cached transfer plan must agree with the per-element path and
+    fall back to it whenever anything is irregular."""
+
+    def test_plan_and_fallback_agree(self):
+        # A subclassed source defeats the plan's exact-type guard, so
+        # scatter takes the per-element path; results must match.
+        class OddIStructure(IStructure):
+            pass
+
+        dist = WrappedCols()
+        plain = make_full((4, 5), lambda i, j: 10 * i + j)
+        odd = OddIStructure((4, 5), name="odd")
+        for i in range(1, 5):
+            for j in range(1, 6):
+                odd.write(i, j, 10 * i + j)
+        fast = scatter(plain, dist, 3)
+        slow = scatter(odd, dist, 3)
+        assert [p.to_list() for p in fast] == [p.to_list() for p in slow]
+
+    def test_gather_falls_back_on_shape_mismatch(self):
+        # Parts with an unexpected shape must not be mis-mapped by the
+        # cached plan (whose offsets assume the alloc shape).
+        dist = WrappedVector()
+        source = make_full((6,), lambda i: i)
+        parts = scatter(source, dist, 2)
+        padded = []
+        for part in parts:
+            bigger = IStructure((part.shape[0] + 1,), name=part.name)
+            for k in range(1, part.shape[0] + 1):
+                if part.is_defined(k):
+                    bigger.write(k, part.read(k))
+            padded.append(bigger)
+        back = gather(padded, dist, 2, (6,))
+        assert back.to_list() == source.to_list()
+
+    def test_scatter_preserves_second_write_error(self):
+        from repro.errors import IStructureError
+
+        # Two global cells mapping to one local cell must still raise
+        # the exact second-write error through the plan path.
+        class CollidingCols(WrappedCols):
+            def mapper(self, nprocs, shape):
+                owner_of, local_of = super().mapper(nprocs, shape)
+                return owner_of, lambda cell: (1, 1)
+
+        dist = CollidingCols()
+        with pytest.raises(IStructureError, match="second write"):
+            scatter(make_full((2, 2), 7), dist, 2)
