@@ -9,9 +9,12 @@ Usage::
     python -m repro.bench timeline [--strategy optIII] [--n 24] [--nprocs 4]
     python -m repro.bench speedup [--n 48] [--procs 2,4,8,16]
 
-Every measuring command takes ``--backend compiled|interp`` and the
-figure/speedup commands take ``--json PATH`` (``-`` for stdout) to dump
-the measurement points, including ``host_seconds``, as JSON.
+Every measuring command takes ``--backend compiled|interp`` and
+``--profile`` (print compiler/runtime counters and phase timers after
+the run; also embedded in JSON dumps). The figure/speedup commands take
+``--json PATH`` (``-`` for stdout) to dump the measurement points,
+including ``host_seconds``, as JSON, and ``--jobs N`` to fan strategy
+series out across worker processes.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import json
 import time
 from dataclasses import asdict
 
+from repro import perf
 from repro.bench.harness import STRATEGY_ORDER, measure, sweep_nprocs
 from repro.bench.report import format_series, format_table
 
@@ -38,14 +42,50 @@ def _dump_json(payload: dict, path: str) -> None:
             fh.write(text + "\n")
 
 
-def _series_payload(series, **meta) -> dict:
-    return {
+def _series_payload(series, args, **meta) -> dict:
+    payload = {
         **meta,
         "series": {
             strategy: [asdict(p) for p in points]
             for strategy, points in series.items()
         },
     }
+    if getattr(args, "profile", False):
+        payload["profile"] = perf.snapshot()
+    return payload
+
+
+def _print_profile(args) -> None:
+    if getattr(args, "profile", False):
+        print()
+        print(format_profile(perf.snapshot()))
+
+
+def format_profile(snap: dict) -> str:
+    """Render a perf snapshot as aligned text (phases, then counters)."""
+    lines = ["-- profile --"]
+    for name, seconds in snap.get("phases", {}).items():
+        lines.append(f"phase {name:<12} {seconds * 1000:10.1f} ms")
+    counters = snap.get("counters", {})
+    caches = sorted(
+        {k.rsplit(".", 1)[0] for k in counters if k.endswith((".hit", ".miss"))}
+    )
+    for cache in caches:
+        hits = counters.get(f"{cache}.hit", 0)
+        misses = counters.get(f"{cache}.miss", 0)
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        lines.append(
+            f"cache {cache:<20} {hits:>8} hit {misses:>8} miss "
+            f"({rate:6.1%})"
+        )
+    intern = snap.get("intern", {})
+    if intern:
+        lines.append(
+            f"intern {intern.get('hits', 0)} hit "
+            f"{intern.get('misses', 0)} miss"
+        )
+    return "\n".join(lines)
 
 
 def cmd_fig6(args) -> None:
@@ -55,13 +95,15 @@ def cmd_fig6(args) -> None:
         _parse_procs(args.procs),
         blksize=args.blksize,
         backend=args.backend,
+        jobs=args.jobs,
     )
     print(format_series(series, "time_ms", f"Figure 6 (N={args.n}, ms)"))
     print()
     print(format_series(series, "messages", "messages"))
+    _print_profile(args)
     if args.json:
         _dump_json(
-            _series_payload(series, figure="fig6", n=args.n,
+            _series_payload(series, args, figure="fig6", n=args.n,
                             backend=args.backend),
             args.json,
         )
@@ -74,13 +116,15 @@ def cmd_fig7(args) -> None:
         _parse_procs(args.procs),
         blksize=args.blksize,
         backend=args.backend,
+        jobs=args.jobs,
     )
     print(format_series(series, "time_ms", f"Figure 7 (N={args.n}, ms)"))
     print()
     print(format_series(series, "messages", "messages"))
+    _print_profile(args)
     if args.json:
         _dump_json(
-            _series_payload(series, figure="fig7", n=args.n,
+            _series_payload(series, args, figure="fig7", n=args.n,
                             backend=args.backend),
             args.json,
         )
@@ -100,7 +144,7 @@ def cmd_speedup(args) -> None:
     for backend in ("interp", "compiled"):
         sweep_nprocs(
             STRATEGY_ORDER, args.n, procs[:1], blksize=args.blksize,
-            backend=backend,
+            backend=backend, jobs=args.jobs,
         )
     sweeps = {}
     totals = {}
@@ -108,7 +152,7 @@ def cmd_speedup(args) -> None:
         t0 = time.perf_counter()
         sweeps[backend] = sweep_nprocs(
             STRATEGY_ORDER, args.n, procs, blksize=args.blksize,
-            backend=backend,
+            backend=backend, jobs=args.jobs,
         )
         totals[backend] = time.perf_counter() - t0
 
@@ -142,25 +186,26 @@ def cmd_speedup(args) -> None:
             f"{ratio:.2f}x",
         )
     )
+    _print_profile(args)
     if args.json:
-        _dump_json(
-            {
-                "n": args.n,
-                "procs": procs,
-                "blksize": args.blksize,
-                "strategies": STRATEGY_ORDER,
-                "exec_host_seconds": exec_host,
-                "sweep_wall_seconds": totals,
-                "speedup": ratio,
-                "points": {
-                    backend: [
-                        asdict(p) for ps in sweep.values() for p in ps
-                    ]
-                    for backend, sweep in sweeps.items()
-                },
+        payload = {
+            "n": args.n,
+            "procs": procs,
+            "blksize": args.blksize,
+            "strategies": STRATEGY_ORDER,
+            "exec_host_seconds": exec_host,
+            "sweep_wall_seconds": totals,
+            "speedup": ratio,
+            "points": {
+                backend: [
+                    asdict(p) for ps in sweep.values() for p in ps
+                ]
+                for backend, sweep in sweeps.items()
             },
-            args.json,
-        )
+        }
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
 
 
 def cmd_msgcount(args) -> None:
@@ -176,6 +221,7 @@ def cmd_msgcount(args) -> None:
             "message counts at 128x128 (paper footnote 3: 31752 vs 2142)",
         )
     )
+    _print_profile(args)
 
 
 def cmd_blocksize(args) -> None:
@@ -197,6 +243,7 @@ def cmd_blocksize(args) -> None:
             f"Optimized III vs block size (N={args.n}, S={args.nprocs})",
         )
     )
+    _print_profile(args)
 
 
 def cmd_timeline(args) -> None:
@@ -233,6 +280,7 @@ def cmd_timeline(args) -> None:
         f"messages={outcome.total_messages} "
         f"time={outcome.makespan_us / 1000:.1f} ms"
     )
+    _print_profile(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -259,11 +307,21 @@ def main(argv: list[str] | None = None) -> int:
         cmd.add_argument(
             "--backend", choices=["compiled", "interp"], default="compiled"
         )
+        cmd.add_argument(
+            "--profile", action="store_true",
+            help="print compiler/runtime counters and phase timers "
+                 "(and embed them in --json dumps)",
+        )
         if name in ("fig6", "fig7", "speedup"):
             cmd.add_argument(
                 "--json", type=str, default=None, metavar="PATH",
                 help="also dump the measurement points as JSON "
                      "('-' for stdout)",
+            )
+            cmd.add_argument(
+                "--jobs", type=int, default=1, metavar="N",
+                help="measure up to N strategy series in parallel "
+                     "worker processes",
             )
         if name == "timeline":
             cmd.add_argument(

@@ -13,16 +13,23 @@ A *strategy* is one curve in the paper's figures:
 
 Every measurement also verifies the computed grid against the sequential
 oracle — a benchmark that produced wrong answers would be worthless.
+
+Sweeps can fan strategies out across worker processes (``jobs=N``): each
+worker takes whole strategy series, so its memoization tables (compile
+cache, simplify/decide caches, rank specializer) warm once and stay hot
+for every point in the series. Workers ship their perf snapshots home
+and :func:`repro.perf.merge` folds them into the parent's counters.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from functools import lru_cache
 
+from repro import perf
 from repro.apps import gauss_seidel as gs
-from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.compiler import OptLevel, Strategy, compile_program_cached
 from repro.core.runner import execute
 from repro.machine import MachineParams
 from repro.spmd.interp import run_spmd
@@ -54,6 +61,8 @@ class MeasurePoint:
     ``host_seconds`` is the host wall-clock spent executing the
     simulation (excluding problem setup and verification), recorded so
     ``BENCH_*.json`` tracks the performance trajectory across PRs.
+    ``compile_seconds`` is the host wall-clock the compiler spent inside
+    this measurement — near zero when the compile cache is warm.
     """
 
     strategy: str
@@ -65,16 +74,16 @@ class MeasurePoint:
     bytes: int
     host_seconds: float = 0.0
     backend: str = "compiled"
+    compile_seconds: float = 0.0
 
     @property
     def time_ms(self) -> float:
         return self.time_us / 1000.0
 
 
-@lru_cache(maxsize=64)
 def _compiled(strategy: str, source: str, assume_min: int):
     strat, level = _COMPILED[strategy]
-    return compile_program(
+    return compile_program_cached(
         source,
         strategy=strat,
         opt_level=level,
@@ -92,6 +101,7 @@ def measure(
     source: str | None = None,
     verify: bool = True,
     backend: str = "compiled",
+    specialize: bool = False,
 ) -> MeasurePoint:
     """Run one strategy on the N x N wavefront problem and measure it."""
     machine = machine or MachineParams.ipsc2()
@@ -111,6 +121,7 @@ def measure(
             backend=backend,
         )
         host_seconds = time.perf_counter() - host_t0
+        compile_seconds = 0.0
         if verify:
             new = gather(result.returned, gs.DISTRIBUTION, nprocs, (n, n))
             _check(new, expected, strategy)
@@ -120,7 +131,9 @@ def measure(
     else:
         # Promise S >= 2 only when we actually run more than one processor.
         assume_min = 2 if nprocs >= 2 else 1
+        compile_t0 = perf.phase_seconds("compile")
         compiled = _compiled(strategy, source or gs.SOURCE, assume_min)
+        compile_seconds = perf.phase_seconds("compile") - compile_t0
         host_t0 = time.perf_counter()
         outcome = execute(
             compiled,
@@ -130,6 +143,7 @@ def measure(
             machine=machine,
             extra_globals={"blksize": blksize},
             backend=backend,
+            specialize=specialize,
         )
         host_seconds = time.perf_counter() - host_t0
         if verify:
@@ -148,12 +162,39 @@ def measure(
         bytes=nbytes,
         host_seconds=host_seconds,
         backend=backend,
+        compile_seconds=compile_seconds,
     )
 
 
 def _check(new, expected, strategy: str) -> None:
     if new.to_nested() != expected:
         raise AssertionError(f"strategy {strategy!r} computed a wrong grid")
+
+
+def _strategy_series(
+    strategy: str,
+    n: int,
+    proc_counts: list[int],
+    blksize: int,
+    machine: MachineParams | None,
+    backend: str,
+    specialize: bool,
+) -> tuple[str, list[MeasurePoint], dict]:
+    """One whole strategy curve — the unit of parallel work.
+
+    Module-level (picklable) so ProcessPoolExecutor can ship it to a
+    worker. Measuring a full series in one process keeps that worker's
+    caches warm across all its points; the returned perf snapshot lets
+    the parent account for work done remotely.
+    """
+    points = [
+        measure(
+            strategy, n, nprocs, blksize=blksize, machine=machine,
+            backend=backend, specialize=specialize,
+        )
+        for nprocs in proc_counts
+    ]
+    return strategy, points, perf.snapshot()
 
 
 def sweep_nprocs(
@@ -163,15 +204,34 @@ def sweep_nprocs(
     blksize: int = 8,
     machine: MachineParams | None = None,
     backend: str = "compiled",
+    specialize: bool = False,
+    jobs: int = 1,
 ) -> dict[str, list[MeasurePoint]]:
-    """One series per strategy over the given ring sizes."""
+    """One series per strategy over the given ring sizes.
+
+    ``jobs > 1`` measures up to that many strategies concurrently in
+    worker processes; worker counters/timers are merged into this
+    process's :mod:`repro.perf` state. Results are identical either way
+    (the simulation is deterministic), only host wall-clock changes.
+    """
+    if jobs > 1 and len(strategies) > 1:
+        results: dict[str, list[MeasurePoint]] = {}
+        with ProcessPoolExecutor(max_workers=min(jobs, len(strategies))) as pool:
+            futures = [
+                pool.submit(
+                    _strategy_series, strategy, n, proc_counts, blksize,
+                    machine, backend, specialize,
+                )
+                for strategy in strategies
+            ]
+            for future in futures:
+                strategy, points, snap = future.result()
+                results[strategy] = points
+                perf.merge(snap)
+        return {s: results[s] for s in strategies}
     return {
-        strategy: [
-            measure(
-                strategy, n, nprocs, blksize=blksize, machine=machine,
-                backend=backend,
-            )
-            for nprocs in proc_counts
-        ]
+        strategy: _strategy_series(
+            strategy, n, proc_counts, blksize, machine, backend, specialize
+        )[1]
         for strategy in strategies
     }

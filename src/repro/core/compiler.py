@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from enum import Enum, IntEnum
 
+from repro import perf
 from repro.distrib import DecompositionSpec
 from repro.errors import CompileError
 from repro.lang import check_program, parse_program
@@ -63,6 +64,76 @@ def compile_program(
     would otherwise need a run-time test for degenerate ring sizes
     (e.g. 2 promises S >= 2, so neighbouring columns are always remote).
     """
+    with perf.phase("compile"):
+        return _compile_program(
+            source, spec, entry, strategy, opt_level, entry_shapes,
+            assume_nprocs_min,
+        )
+
+
+def compile_program_cached(
+    source: str,
+    entry: str | None = None,
+    strategy: Strategy = Strategy.COMPILE_TIME,
+    opt_level: OptLevel = OptLevel.NONE,
+    entry_shapes: dict[str, tuple] | None = None,
+    assume_nprocs_min: int = 1,
+) -> CompiledProgram:
+    """Memoized :func:`compile_program` for source-text compilations.
+
+    Keyed on every argument (``entry_shapes`` canonicalized by sorting),
+    so repeat compiles — bench sweeps re-measuring the same strategy at
+    different problem sizes, tests recompiling a fixture — are O(1) dict
+    hits. Custom :class:`DecompositionSpec` objects are not hashable by
+    value; callers needing ``spec=`` should use :func:`compile_program`
+    directly. Respects the global cache switch in :mod:`repro.perf`.
+    """
+    if not perf.caches_enabled():
+        return compile_program(
+            source,
+            entry=entry,
+            strategy=strategy,
+            opt_level=opt_level,
+            entry_shapes=entry_shapes,
+            assume_nprocs_min=assume_nprocs_min,
+        )
+    key = (
+        source,
+        entry,
+        strategy,
+        opt_level,
+        tuple(sorted((entry_shapes or {}).items())),
+        assume_nprocs_min,
+    )
+    cached = _compile_cache.get(key)
+    if cached is not None:
+        perf.hit("compile")
+        return cached
+    perf.miss("compile")
+    result = compile_program(
+        source,
+        entry=entry,
+        strategy=strategy,
+        opt_level=opt_level,
+        entry_shapes=entry_shapes,
+        assume_nprocs_min=assume_nprocs_min,
+    )
+    _compile_cache[key] = result
+    return result
+
+
+_compile_cache: dict = perf.register_cache("compile", {})
+
+
+def _compile_program(
+    source: str | CheckedProgram,
+    spec: DecompositionSpec | None,
+    entry: str | None,
+    strategy: Strategy,
+    opt_level: OptLevel,
+    entry_shapes: dict[str, tuple] | None,
+    assume_nprocs_min: int,
+) -> CompiledProgram:
     if isinstance(source, str):
         from repro.core.polymorphism import monomorphize
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.errors import CompileError
 from repro.machine import MachineParams, SimResult
 from repro.runtime import IStructure
@@ -109,29 +110,26 @@ def execute(
     if specialize:
         from repro.core.specialize import specialize_for_rank
 
-        cache: dict[int, object] = {}
-
-        def program_for(rank: int):
-            if rank not in cache:
-                cache[rank] = specialize_for_rank(
-                    compiled.program, rank, nprocs
-                )
-            return cache[rank]
-
-        program = program_for
+        with perf.phase("specialize"):
+            programs = [
+                specialize_for_rank(compiled.program, rank, nprocs)
+                for rank in range(nprocs)
+            ]
+        program = lambda rank: programs[rank]  # noqa: E731
     else:
         program = compiled.program
-    result = run_spmd(
-        program,
-        nprocs,
-        make_args,
-        machine=machine,
-        globals_=globals_,
-        trace=trace,
-        max_steps=max_steps,
-        placement=placement,
-        backend=backend,
-    )
+    with perf.phase("execute"):
+        result = run_spmd(
+            program,
+            nprocs,
+            make_args,
+            machine=machine,
+            globals_=globals_,
+            trace=trace,
+            max_steps=max_steps,
+            placement=placement,
+            backend=backend,
+        )
 
     if compiled.entry_return_array is not None:
         info = compiled.entry_return_array

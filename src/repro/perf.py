@@ -1,0 +1,151 @@
+"""Compiler-side performance instrumentation.
+
+One tiny module, imported by the hot paths, holding three things:
+
+* **counters** — monotonically increasing integers, used for cache
+  hit/miss accounting (``perf.hit("simplify")`` / ``perf.miss(...)``);
+* **phase timers** — ``with perf.phase("compile"): ...`` accumulates
+  host seconds per named phase, giving the compile-vs-execute breakdown
+  the bench CLI emits under ``--profile``;
+* a **cache registry** — every memoization table registers itself here
+  so caches can be cleared (``clear_caches``) or disabled wholesale
+  (``set_caches_enabled(False)``), which is how benchmarks measure the
+  uncached baseline without a separate code path.
+
+Everything is process-local. The parallel bench harness snapshots worker
+state and merges it into the parent with :func:`merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, MutableMapping
+
+_counters: dict[str, int] = {}
+_phases: dict[str, float] = {}
+_caches: dict[str, MutableMapping] = {}
+_caches_enabled: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+def incr(name: str, amount: int = 1) -> None:
+    _counters[name] = _counters.get(name, 0) + amount
+
+
+def hit(name: str) -> None:
+    incr(f"{name}.hit")
+
+
+def miss(name: str) -> None:
+    incr(f"{name}.miss")
+
+
+def counter(name: str) -> int:
+    return _counters.get(name, 0)
+
+
+def hit_rate(name: str) -> float:
+    """Hits / (hits + misses), or 0.0 when the cache was never consulted."""
+    hits = counter(f"{name}.hit")
+    total = hits + counter(f"{name}.miss")
+    return hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Phase timers
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accumulate wall-clock seconds spent in the named phase."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        _phases[name] = _phases.get(name, 0.0) + (time.perf_counter() - t0)
+
+
+def phase_seconds(name: str) -> float:
+    return _phases.get(name, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Cache registry
+# ---------------------------------------------------------------------------
+
+
+def register_cache(name: str, mapping: MutableMapping) -> MutableMapping:
+    """Register a memoization table so it participates in clear/disable."""
+    _caches[name] = mapping
+    return mapping
+
+
+def caches_enabled() -> bool:
+    return _caches_enabled
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Globally enable/disable memoization (clears tables on disable)."""
+    global _caches_enabled
+    _caches_enabled = enabled
+    if not enabled:
+        clear_caches()
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Temporarily run with every registered cache off and empty."""
+    prior = _caches_enabled
+    set_caches_enabled(False)
+    try:
+        yield
+    finally:
+        set_caches_enabled(prior)
+
+
+def clear_caches() -> None:
+    for mapping in _caches.values():
+        mapping.clear()
+
+
+def cache_sizes() -> dict[str, int]:
+    return {name: len(mapping) for name, mapping in _caches.items()}
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+def snapshot() -> dict:
+    """A JSON-ready view of all counters and phase timers."""
+    from repro.symbolic.expr import intern_stats
+
+    return {
+        "counters": dict(sorted(_counters.items())),
+        "phases": dict(sorted(_phases.items())),
+        "cache_sizes": cache_sizes(),
+        "intern": intern_stats(),
+    }
+
+
+def merge(other: dict) -> None:
+    """Fold a snapshot from another process into this one's totals."""
+    for name, value in other.get("counters", {}).items():
+        incr(name, value)
+    for name, value in other.get("phases", {}).items():
+        _phases[name] = _phases.get(name, 0.0) + value
+
+
+def reset(clear_cache_tables: bool = False) -> None:
+    """Zero counters and timers (optionally also empty the caches)."""
+    _counters.clear()
+    _phases.clear()
+    if clear_cache_tables:
+        clear_caches()

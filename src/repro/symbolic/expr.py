@@ -5,6 +5,14 @@ semantics: ``div`` is floor division and ``mod`` always returns a result
 with the sign of the divisor, which matches the behaviour the paper's
 mappings rely on (``j mod S`` is a valid processor number for any ``j``).
 
+Every node class is **hash-consed**: constructing a node returns the one
+canonical instance for its field values, so structurally equal trees are
+pointer-equal and equality/hashing are O(1) identity operations. The
+invariant holds inductively — children are interned before the parent's
+intern-table key is built — and survives pickling (``__reduce__``
+reconstructs through the constructor, re-interning in the receiving
+process, which the parallel bench workers rely on).
+
 The classes here are deliberately dumb containers; all algebraic
 intelligence lives in :mod:`repro.symbolic.simplify` and
 :mod:`repro.symbolic.solve`.
@@ -13,11 +21,63 @@ intelligence lives in :mod:`repro.symbolic.simplify` and
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as _dc_fields
 
 from repro.errors import SolverError
 
 Env = Mapping[str, int]
+
+
+class _InternMeta(type):
+    """Metaclass interning every instance per (class, field values).
+
+    The constructed object is used only to normalize arguments (positional
+    or keyword) into the per-class key; if the key is already present the
+    canonical instance is returned and the fresh one is dropped.
+    """
+
+    _hits = 0
+    _misses = 0
+
+    def __call__(cls, *args, **kwargs):
+        obj = super().__call__(*args, **kwargs)
+        names = cls.__dict__.get("_intern_fields")
+        if names is None:
+            names = tuple(f.name for f in _dc_fields(cls))
+            table: dict = {}
+            cls._intern_fields = names
+            cls._intern_table = table
+        else:
+            table = cls.__dict__["_intern_table"]
+        key = tuple(getattr(obj, name) for name in names)
+        canon = table.get(key)
+        if canon is None:
+            _InternMeta._misses += 1
+            table[key] = obj
+            return obj
+        _InternMeta._hits += 1
+        return canon
+
+
+def intern_stats() -> dict[str, int]:
+    """Global hash-consing statistics (all node classes combined)."""
+    return {"hits": _InternMeta._hits, "misses": _InternMeta._misses}
+
+
+def intern_table_sizes() -> dict[str, int]:
+    """Per-class intern-table sizes. The tables are *not* caches — they
+    define node identity for the process lifetime and are never cleared
+    (clearing would break the pointer-equality invariant for canonical
+    instances already held, e.g. module-level ``TRUE``/``FALSE``)."""
+    sizes: dict[str, int] = {}
+    stack: list[type] = [Expr, BoolExpr]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        table = cls.__dict__.get("_intern_table")
+        if table is not None:
+            sizes[cls.__name__] = len(table)
+    return sizes
 
 
 def sym(value: "Expr | int | str") -> "Expr":
@@ -33,10 +93,19 @@ def sym(value: "Expr | int | str") -> "Expr":
     raise TypeError(f"cannot make a symbolic expression from {value!r}")
 
 
-class Expr:
-    """Base class for integer-valued symbolic expressions."""
+class Expr(metaclass=_InternMeta):
+    """Base class for integer-valued symbolic expressions.
+
+    Instances are interned (see :class:`_InternMeta`): equality and
+    hashing are inherited from ``object`` — identity — which is exactly
+    structural equality thanks to hash-consing.
+    """
 
     __slots__ = ()
+
+    def __reduce__(self):
+        cls = type(self)
+        return cls, tuple(getattr(self, n) for n in cls._intern_fields)
 
     # -- operator sugar ---------------------------------------------------
     def __add__(self, other: "Expr | int") -> "Expr":
@@ -109,9 +178,16 @@ class Expr:
         return frozenset(out)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Const(Expr):
     value: int
+
+    def __post_init__(self):
+        # Normalize bools before the intern key is built: True/False hash
+        # like 1/0, so without this a ``Const(True)`` interned first would
+        # become the canonical ``Const(1)`` and print as "True".
+        if type(self.value) is bool:
+            object.__setattr__(self, "value", int(self.value))
 
     def children(self) -> tuple[Expr, ...]:
         return ()
@@ -126,7 +202,7 @@ class Const(Expr):
         return str(self.value)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Var(Expr):
     name: str
 
@@ -155,7 +231,7 @@ def _paren(e: Expr) -> str:
     return f"({text})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Add(Expr):
     args: tuple[Expr, ...]
 
@@ -180,7 +256,7 @@ class Add(Expr):
         return " ".join(parts)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Mul(Expr):
     args: tuple[Expr, ...]
 
@@ -200,7 +276,7 @@ class Mul(Expr):
         return " * ".join(_paren(a) for a in self.args)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class FloorDiv(Expr):
     num: Expr
     den: Expr
@@ -221,7 +297,7 @@ class FloorDiv(Expr):
         return f"{_paren(self.num)} div {_paren(self.den)}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Mod(Expr):
     num: Expr
     den: Expr
@@ -242,7 +318,7 @@ class Mod(Expr):
         return f"{_paren(self.num)} mod {_paren(self.den)}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Min(Expr):
     args: tuple[Expr, ...]
 
@@ -259,7 +335,7 @@ class Min(Expr):
         return "min(" + ", ".join(str(a) for a in self.args) + ")"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Max(Expr):
     args: tuple[Expr, ...]
 
@@ -281,10 +357,19 @@ class Max(Expr):
 # ---------------------------------------------------------------------------
 
 
-class BoolExpr:
-    """Base class for boolean conditions over integer expressions."""
+class BoolExpr(metaclass=_InternMeta):
+    """Base class for boolean conditions over integer expressions.
+
+    Interned exactly like :class:`Expr`: structural equality is pointer
+    equality, and relation classes (``Eq`` vs ``Le``) never collide
+    because the intern tables are per-class.
+    """
 
     __slots__ = ()
+
+    def __reduce__(self):
+        cls = type(self)
+        return cls, tuple(getattr(self, n) for n in cls._intern_fields)
 
     def and_(self, other: "BoolExpr") -> "BoolExpr":
         return And((self, other))
@@ -305,7 +390,7 @@ class BoolExpr:
         raise NotImplementedError
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class BoolConst(BoolExpr):
     value: bool
 
@@ -326,7 +411,7 @@ TRUE = BoolConst(True)
 FALSE = BoolConst(False)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class _Rel(BoolExpr):
     lhs: Expr
     rhs: Expr
@@ -391,7 +476,7 @@ class Gt(_Rel):
         return a > b
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class And(BoolExpr):
     args: tuple[BoolExpr, ...]
 
@@ -411,7 +496,7 @@ class And(BoolExpr):
         return " and ".join(f"({a})" for a in self.args)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Or(BoolExpr):
     args: tuple[BoolExpr, ...]
 
@@ -431,7 +516,7 @@ class Or(BoolExpr):
         return " or ".join(f"({a})" for a in self.args)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Not(BoolExpr):
     arg: BoolExpr
 

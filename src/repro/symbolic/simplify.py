@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from functools import reduce
 from math import gcd
 
+from repro import perf
 from repro.symbolic.expr import (
     Add,
     And,
@@ -68,8 +69,39 @@ class Facts:
         congruences = {k: v for k, v in self.congruences.items() if k != name}
         return Facts(bounds=bounds, congruences=congruences)
 
+    def fingerprint(self) -> tuple:
+        """A hashable digest of this knowledge, used as a memoization key.
+
+        Bound/congruence expressions are hash-consed, so the tuple hashes
+        by pointer identity — O(size of the fact set), computed once.
+        """
+        fp = self.__dict__.get("_fp")
+        if fp is None:
+            fp = (
+                tuple(sorted(self.bounds.items())),
+                tuple(sorted(self.congruences.items())),
+            )
+            object.__setattr__(self, "_fp", fp)
+        return fp
+
 
 EMPTY_FACTS = Facts()
+
+# ---------------------------------------------------------------------------
+# Memoization tables
+#
+# All keys are built from interned expressions (identity hash) plus a
+# Facts fingerprint; all functions below are pure, so the caches are
+# semantics-free. ``perf.caches_enabled()`` turns them off wholesale,
+# which benchmarks use to measure the underived baseline.
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+_simplify_cache: dict = perf.register_cache("simplify", {})
+_affine_cache: dict = perf.register_cache("affine", {})
+_prove_cache: dict = perf.register_cache("prove_le", {})
+_decide_cache: dict = perf.register_cache("decide", {})
 
 
 # ---------------------------------------------------------------------------
@@ -82,7 +114,26 @@ def _term_key(e: Expr) -> str:
 
 
 def _affine_of(e: Expr) -> tuple[AffineTerms, int]:
-    """Decompose an already-simplified expression into (terms, constant)."""
+    """Decompose an already-simplified expression into (terms, constant).
+
+    Memoized per interned node; the cached terms are stored as an items
+    tuple and rebuilt into a fresh dict so callers may treat the result
+    as their own.
+    """
+    if not perf.caches_enabled():
+        return _affine_of_uncached(e)
+    cached = _affine_cache.get(e)
+    if cached is not None:
+        perf.hit("affine")
+        items, const = cached
+        return dict(items), const
+    perf.miss("affine")
+    terms, const = _affine_of_uncached(e)
+    _affine_cache[e] = (tuple(terms.items()), const)
+    return terms, const
+
+
+def _affine_of_uncached(e: Expr) -> tuple[AffineTerms, int]:
     if isinstance(e, Const):
         return {}, e.value
     if isinstance(e, Add):
@@ -149,6 +200,20 @@ def simplify(e: Expr, facts: Facts | None = None) -> Expr:
 def _simplify(e: Expr, facts: Facts) -> Expr:
     if isinstance(e, (Const, Var)):
         return e
+    if not perf.caches_enabled():
+        return _simplify_uncached(e, facts)
+    key = (e, facts.fingerprint())
+    cached = _simplify_cache.get(key)
+    if cached is not None:
+        perf.hit("simplify")
+        return cached
+    perf.miss("simplify")
+    result = _simplify_uncached(e, facts)
+    _simplify_cache[key] = result
+    return result
+
+
+def _simplify_uncached(e: Expr, facts: Facts) -> Expr:
     if isinstance(e, Add):
         args = [_simplify(a, facts) for a in e.args]
         terms: AffineTerms = {}
@@ -179,11 +244,17 @@ def _simplify_mul(args: list[Expr], facts: Facts) -> Expr:
         if isinstance(arg, Const):
             coeff *= arg.value
         elif isinstance(arg, Mul):
-            sub_terms, sub_const = _affine_of(arg)
-            if not sub_terms and sub_const:
-                coeff *= sub_const
-            else:
-                rest.append(arg)
+            # Strip constant factors into the running coefficient so a
+            # product never hides a constant (idempotence: -1 * (2*x)
+            # must fold to -2*x, not Mul((-1, 2, x))).
+            inner: list[Expr] = []
+            for sub in arg.args:
+                if isinstance(sub, Const):
+                    coeff *= sub.value
+                else:
+                    inner.append(sub)
+            if inner:
+                rest.append(inner[0] if len(inner) == 1 else Mul(tuple(inner)))
         else:
             rest.append(arg)
     if coeff == 0:
@@ -409,6 +480,20 @@ def _relaxations(e: Expr, facts: Facts, want_upper: bool) -> list[Expr]:
 
 def _prove_le(a: Expr, b: Expr, facts: Facts, depth: int = _PROOF_DEPTH) -> bool:
     """True when ``a <= b`` is provable from the facts."""
+    if not perf.caches_enabled():
+        return _prove_le_uncached(a, b, facts, depth)
+    key = (a, b, facts.fingerprint(), depth)
+    cached = _prove_cache.get(key)
+    if cached is not None:
+        perf.hit("prove_le")
+        return cached
+    perf.miss("prove_le")
+    result = _prove_le_uncached(a, b, facts, depth)
+    _prove_cache[key] = result
+    return result
+
+
+def _prove_le_uncached(a: Expr, b: Expr, facts: Facts, depth: int) -> bool:
     diff = _simplify(Add((b, Mul((Const(-1), a)))), facts)
     if isinstance(diff, Const):
         return diff.value >= 0
@@ -450,6 +535,20 @@ def decide(cond: BoolExpr, facts: Facts | None = None) -> bool | None:
     possible: true, false, and inconclusive" (§3.2).
     """
     facts = facts or EMPTY_FACTS
+    if not perf.caches_enabled():
+        return _decide_uncached(cond, facts)
+    key = (cond, facts.fingerprint())
+    cached = _decide_cache.get(key, _MISSING)
+    if cached is not _MISSING:
+        perf.hit("decide")
+        return cached
+    perf.miss("decide")
+    result = _decide_uncached(cond, facts)
+    _decide_cache[key] = result
+    return result
+
+
+def _decide_uncached(cond: BoolExpr, facts: Facts) -> bool | None:
     if isinstance(cond, BoolConst):
         return cond.value
     if isinstance(cond, Not):

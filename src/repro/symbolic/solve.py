@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from math import gcd
 
+from repro import perf
 from repro.symbolic.expr import Add, Const, Expr, FloorDiv, Max, Min, Mod, Mul
 from repro.symbolic.ranges import (
     UNCONSTRAINED,
@@ -79,6 +80,32 @@ def solve_membership(
     ``var``, or None when the equation shape is out of scope (inconclusive).
     """
     facts = facts or Facts()
+    if not perf.caches_enabled():
+        return _solve_membership_uncached(target, rhs, var, lo, hi, facts)
+    key = (target, rhs, var, lo, hi, facts.fingerprint())
+    cached = _solve_cache.get(key, _MISSING)
+    if cached is not _MISSING:
+        perf.hit("solve")
+        return cached
+    perf.miss("solve")
+    result = _solve_membership_uncached(target, rhs, var, lo, hi, facts)
+    _solve_cache[key] = result
+    return result
+
+
+_MISSING = object()
+
+_solve_cache: dict = perf.register_cache("solve", {})
+
+
+def _solve_membership_uncached(
+    target: Expr,
+    rhs: Expr,
+    var: str,
+    lo: Expr,
+    hi: Expr,
+    facts: Facts,
+) -> SolveResult:
     target = simplify(target, facts)
     rhs = simplify(rhs, facts)
     if var in rhs.free_vars():

@@ -1,0 +1,107 @@
+"""End-to-end tests for the bench CLI flags: --backend, --json,
+--profile, and --jobs. Grids are tiny so every command is fast; the
+simulated numbers themselves are covered by tests/bench/test_harness.py."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_backends_agree_on_fig6(self, capsys):
+        outs = {
+            backend: run_cli(
+                capsys, "fig6", "--n", "8", "--procs", "2",
+                "--backend", backend,
+            )
+            for backend in ("compiled", "interp")
+        }
+        assert outs["compiled"] == outs["interp"]
+        assert "Figure 6" in outs["compiled"]
+
+    def test_bad_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--n", "8", "--backend", "nonsense"])
+
+
+class TestJsonFlag:
+    def test_fig6_json_file(self, tmp_path, capsys):
+        path = tmp_path / "fig6.json"
+        run_cli(capsys, "fig6", "--n", "8", "--procs", "2,4",
+                "--json", str(path))
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "fig6"
+        assert payload["n"] == 8
+        assert set(payload["series"]) == {
+            "runtime", "compile", "optI", "handwritten"
+        }
+        for points in payload["series"].values():
+            assert [p["nprocs"] for p in points] == [2, 4]
+            for p in points:
+                assert p["host_seconds"] >= 0.0
+                assert p["compile_seconds"] >= 0.0
+        assert "profile" not in payload  # only with --profile
+
+    def test_json_to_stdout(self, capsys):
+        out = run_cli(capsys, "fig7", "--n", "8", "--procs", "2",
+                      "--json", "-")
+        body = out[out.index("{"):]
+        payload = json.loads(body)
+        assert payload["figure"] == "fig7"
+
+
+class TestProfileFlag:
+    def test_profile_prints_phases_and_caches(self, capsys):
+        out = run_cli(capsys, "fig6", "--n", "8", "--procs", "2",
+                      "--profile")
+        assert "-- profile --" in out
+        assert "phase compile" in out
+        assert "cache simplify" in out
+        assert "intern" in out
+
+    def test_profile_embedded_in_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        run_cli(capsys, "fig6", "--n", "8", "--procs", "2",
+                "--profile", "--json", str(path))
+        payload = json.loads(path.read_text())
+        snap = payload["profile"]
+        assert "compile" in snap["phases"]
+        assert any(k.endswith(".hit") for k in snap["counters"])
+
+    def test_no_profile_by_default(self, capsys):
+        out = run_cli(capsys, "blocksize", "--n", "8", "--nprocs", "2")
+        assert "-- profile --" not in out
+
+
+class TestJobsFlag:
+    def test_parallel_sweep_matches_serial(self, tmp_path, capsys):
+        paths = {}
+        for jobs in ("1", "2"):
+            paths[jobs] = tmp_path / f"jobs{jobs}.json"
+            run_cli(capsys, "fig6", "--n", "8", "--procs", "2,4",
+                    "--jobs", jobs, "--json", str(paths[jobs]))
+
+        def simulated(path):
+            payload = json.loads(path.read_text())
+            return {
+                strategy: [
+                    (p["time_us"], p["messages"], p["bytes"]) for p in points
+                ]
+                for strategy, points in payload["series"].items()
+            }
+
+        assert simulated(paths["1"]) == simulated(paths["2"])
+
+    def test_worker_counters_merged(self, capsys):
+        out = run_cli(capsys, "fig6", "--n", "8", "--procs", "2",
+                      "--jobs", "2", "--profile")
+        # All compilation happened in workers; the parent only sees it
+        # through merged snapshots.
+        assert "cache simplify" in out

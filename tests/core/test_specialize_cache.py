@@ -1,0 +1,100 @@
+"""The rank-generic specializer must be invisible: for every rank, the
+cached two-pass fold (generic fold + per-rank patch) produces exactly the
+program the direct one-pass rewrite produces, while sharing
+rank-independent subtrees across ranks."""
+
+import pytest
+
+from repro import perf
+from repro.apps import gauss_seidel as gs
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.specialize import (
+    RankSpecializer,
+    _specialize_direct,
+    specialize_for_rank,
+    specializer_for,
+)
+
+LEVELS = {
+    "runtime": (Strategy.RUNTIME, OptLevel.NONE),
+    "compile": (Strategy.COMPILE_TIME, OptLevel.NONE),
+    "optI": (Strategy.COMPILE_TIME, OptLevel.VECTORIZE),
+    "optIII": (Strategy.COMPILE_TIME, OptLevel.STRIPMINE),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(LEVELS))
+def program(request):
+    strat, level = LEVELS[request.param]
+    compiled = compile_program(
+        gs.SOURCE,
+        strategy=strat,
+        opt_level=level,
+        entry_shapes={"Old": ("N", "N")},
+        assume_nprocs_min=2,
+    )
+    return compiled.program
+
+
+def _assert_same_program(a, b):
+    assert a.name == b.name
+    assert a.entry == b.entry
+    assert set(a.procs) == set(b.procs)
+    for name in a.procs:
+        pa, pb = a.procs[name], b.procs[name]
+        assert pa.params == pb.params
+        assert pa.array_params == pb.array_params
+        assert pa.body == pb.body, name  # IR nodes compare structurally
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+    def test_cached_equals_direct_for_every_rank(self, program, nprocs):
+        for rank in range(nprocs):
+            cached = specialize_for_rank(program, rank, nprocs)
+            direct = _specialize_direct(program, rank, nprocs)
+            _assert_same_program(cached, direct)
+
+    def test_without_ring_size(self, program):
+        cached = specialize_for_rank(program, 1)
+        direct = _specialize_direct(program, 1, None)
+        _assert_same_program(cached, direct)
+
+    def test_caches_disabled_takes_direct_path(self, program):
+        with perf.caches_disabled():
+            out = specialize_for_rank(program, 0, 4)
+        _assert_same_program(out, _specialize_direct(program, 0, 4))
+
+
+class TestCacheBehaviour:
+    def test_repeat_requests_return_same_object(self, program):
+        a = specialize_for_rank(program, 2, 4)
+        b = specialize_for_rank(program, 2, 4)
+        assert a is b
+
+    def test_specializer_shared_across_ranks(self, program):
+        assert specializer_for(program, 4) is specializer_for(program, 4)
+        assert specializer_for(program, 4) is not specializer_for(program, 8)
+
+    def test_rank_independent_subtrees_shared_between_ranks(self, program):
+        spec = RankSpecializer(program, 4)
+        p0, p1 = spec.for_rank(0), spec.for_rank(1)
+        shared = 0
+        for name in p0.procs:
+            for s0, s1 in zip(p0.procs[name].body, p1.procs[name].body):
+                if s0 is s1:
+                    shared += 1
+        # The wavefront programs all contain at least some statements
+        # that do not mention the rank; those must be one object.
+        assert shared > 0
+
+    def test_hit_and_miss_counters_move(self, program):
+        perf.reset()
+        perf.clear_caches()
+        specialize_for_rank(program, 0, 3)
+        specialize_for_rank(program, 0, 3)
+        specialize_for_rank(program, 1, 3)
+        assert perf.counter("specialize.generic.miss") == 1
+        assert perf.counter("specialize.generic.hit") == 2
+        assert perf.counter("specialize.rank.miss") == 2
+        assert perf.counter("specialize.rank.hit") == 1

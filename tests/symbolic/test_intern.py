@@ -1,0 +1,197 @@
+"""Hash-consing invariants: structural equality IS pointer equality.
+
+Every expression node class interns its instances, so two structurally
+equal trees are the same object, equality/hashing are O(1) identity, and
+expressions behave as dict keys with no extra work. Pickling re-interns
+through the constructor so the invariant survives process boundaries
+(the parallel bench harness depends on this).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.symbolic import (
+    Add,
+    And,
+    BoolConst,
+    Const,
+    Eq,
+    FloorDiv,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Var,
+    decide,
+    simplify,
+    sym,
+)
+from repro.symbolic.expr import TRUE, intern_stats
+from repro.symbolic.simplify import Facts
+
+X, Y, S = Var("x"), Var("y"), Var("S")
+
+
+def _samples():
+    """One structurally fresh instance per node class (built twice)."""
+    return [
+        Const(41),
+        Var("q"),
+        Add((X, Y)),
+        Mul((Const(3), X)),
+        FloorDiv(X, Const(4)),
+        Mod(X, S),
+        Min((X, Y)),
+        Max((X, Const(9))),
+        BoolConst(True),
+        Eq(X, Y),
+        Ne(X, Y),
+        Le(X, Y),
+        Lt(X, Y),
+        Ge(X, Y),
+        Gt(X, Y),
+        And((Le(X, Y), TRUE)),
+        Or((Lt(X, Y), TRUE)),
+        Not(Le(X, Y)),
+    ]
+
+
+class TestStructuralIdentity:
+    def test_every_node_class_interns(self):
+        for a, b in zip(_samples(), _samples()):
+            assert a is b, type(a).__name__
+            assert a == b and hash(a) == hash(b)
+
+    def test_distinct_structures_distinct_objects(self):
+        assert Const(1) is not Const(2)
+        assert Add((X, Y)) is not Add((Y, X))
+
+    def test_relations_do_not_collide_across_classes(self):
+        # Eq and Le share field layout; per-class tables keep them apart.
+        assert Eq(X, Y) is not Le(X, Y)
+        assert Eq(X, Y) != Le(X, Y)
+
+    def test_bool_const_normalizes_before_interning(self):
+        # hash(True) == hash(1), so without normalization whichever of
+        # Const(True)/Const(1) interned first would print for both.
+        assert Const(True) is Const(1)
+        assert str(Const(True)) == "1"
+        assert Const(False) is Const(0)
+
+    def test_module_level_singletons(self):
+        assert BoolConst(True) is TRUE
+
+    def test_expressions_as_dict_keys(self):
+        table = {Add((X, Const(1))): "a", Add((Y, Const(1))): "b"}
+        assert table[Add((X, Const(1)))] == "a"
+        assert table[Add((Y, Const(1)))] == "b"
+
+    def test_pickle_reinterns(self):
+        for e in _samples():
+            assert pickle.loads(pickle.dumps(e)) is e
+
+    def test_intern_stats_counts(self):
+        before = intern_stats()["hits"]
+        Add((X, Const(123456)))  # may hit or miss
+        Add((X, Const(123456)))  # must hit
+        assert intern_stats()["hits"] >= before + 1
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+_atoms = st.one_of(
+    st.integers(min_value=-8, max_value=8).map(Const),
+    st.sampled_from([X, Y, S]),
+)
+
+
+def _compound(children):
+    pair = st.tuples(children, children)
+    return st.one_of(
+        pair.map(Add),
+        pair.map(Mul),
+        pair.map(Min),
+        pair.map(Max),
+        st.tuples(
+            children, st.integers(min_value=1, max_value=6).map(Const)
+        ).map(lambda t: FloorDiv(t[0], t[1])),
+        st.tuples(
+            children, st.integers(min_value=1, max_value=6).map(Const)
+        ).map(lambda t: Mod(t[0], t[1])),
+    )
+
+
+_exprs = st.recursive(_atoms, _compound, max_leaves=8)
+
+_rels = st.builds(
+    lambda rel, a, b: rel(a, b),
+    st.sampled_from([Eq, Ne, Le, Lt, Ge, Gt]),
+    _exprs,
+    _exprs,
+)
+
+
+@st.composite
+def _facts(draw):
+    facts = Facts()
+    for name in ("x", "y", "S"):
+        if draw(st.booleans()):
+            lo = draw(st.integers(min_value=-4, max_value=4))
+            hi = lo + draw(st.integers(min_value=0, max_value=8))
+            facts = facts.with_bound(name, Const(lo), Const(hi))
+    if draw(st.booleans()):
+        mod = draw(st.integers(min_value=2, max_value=4))
+        res = draw(st.integers(min_value=0, max_value=mod - 1))
+        facts = facts.with_congruence("x", Const(mod), Const(res))
+    return facts
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(e=_exprs)
+    def test_simplify_is_idempotent(self, e):
+        once = simplify(e)
+        assert simplify(once) is once
+
+    @settings(max_examples=120, deadline=None)
+    @given(e=_exprs)
+    def test_construction_canonicalizes(self, e):
+        # Rebuilding the same structure yields the same object.
+        assert sym(e) is e
+        rebuilt = pickle.loads(pickle.dumps(e))
+        assert rebuilt is e
+
+    @settings(max_examples=120, deadline=None)
+    @given(cond=_rels, facts=_facts())
+    def test_decide_agrees_with_uncached(self, cond, facts):
+        cached = decide(cond, facts)
+        with perf.caches_disabled():
+            plain = decide(cond, facts)
+        assert cached == plain and type(cached) is type(plain)
+
+    @settings(max_examples=60, deadline=None)
+    @given(e=_exprs, facts=_facts())
+    def test_simplify_agrees_with_uncached(self, e, facts):
+        cached = simplify(e, facts)
+        with perf.caches_disabled():
+            plain = simplify(e, facts)
+        assert cached is plain
+
+
+@pytest.fixture(autouse=True)
+def _leave_caches_enabled():
+    yield
+    perf.set_caches_enabled(True)
