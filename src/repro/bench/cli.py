@@ -7,7 +7,15 @@ Usage::
     python -m repro.bench msgcount
     python -m repro.bench blocksize [--n 128] [--nprocs 8]
     python -m repro.bench timeline [--strategy optIII] [--n 24] [--nprocs 4]
+    python -m repro.bench trace [--app gauss_seidel] [--strategy optIII]
+                                [--n 24] [--nprocs 4] [--trace-out FILE]
     python -m repro.bench speedup [--n 48] [--procs 2,4,8,16]
+
+The ``trace`` command runs one traced simulation and renders the full
+observability report — timeline, per-rank utilization, critical path,
+and communication heatmap — for any app/strategy/ring size;
+``--trace-out FILE`` additionally exports Chrome trace-event JSON
+viewable at https://ui.perfetto.dev.
 
 Every measuring command takes ``--backend compiled|interp`` and
 ``--profile`` (print compiler/runtime counters and phase timers after
@@ -246,40 +254,109 @@ def cmd_blocksize(args) -> None:
     _print_profile(args)
 
 
-def cmd_timeline(args) -> None:
-    from repro.apps import gauss_seidel as gs
-    from repro.core.compiler import OptLevel, Strategy, compile_program
+def _traced_run(args):
+    """Compile and execute one app/strategy/S with tracing on.
+
+    Compilation goes through the memoized cache so repeat invocations
+    (and backend comparisons) see the identical program — including the
+    generated channel names that appear in reports and exports.
+    """
+    from repro.core.compiler import OptLevel, Strategy, compile_program_cached
     from repro.core.runner import execute
-    from repro.machine.trace import render_timeline
     from repro.spmd.layout import make_full
 
     levels = {
-        "compile": OptLevel.NONE,
-        "optI": OptLevel.VECTORIZE,
-        "optII": OptLevel.JAM,
-        "optIII": OptLevel.STRIPMINE,
+        "runtime": (Strategy.RUNTIME, OptLevel.NONE),
+        "compile": (Strategy.COMPILE_TIME, OptLevel.NONE),
+        "optI": (Strategy.COMPILE_TIME, OptLevel.VECTORIZE),
+        "optII": (Strategy.COMPILE_TIME, OptLevel.JAM),
+        "optIII": (Strategy.COMPILE_TIME, OptLevel.STRIPMINE),
     }
-    compiled = compile_program(
-        gs.SOURCE,
-        strategy=Strategy.COMPILE_TIME,
-        opt_level=levels[args.strategy],
-        entry_shapes={"Old": ("N", "N")},
+    strat, level = levels[args.strategy]
+    app = getattr(args, "app", "gauss_seidel")
+    common = dict(
+        strategy=strat,
+        opt_level=level,
         assume_nprocs_min=2 if args.nprocs >= 2 else 1,
     )
-    outcome = execute(
+    if app == "gauss_seidel":
+        from repro.apps import gauss_seidel as gs
+
+        compiled = compile_program_cached(
+            gs.SOURCE, entry_shapes={"Old": ("N", "N")}, **common
+        )
+        inputs = {"Old": make_full((args.n, args.n), 1)}
+    elif app == "jacobi":
+        from repro.apps import jacobi
+
+        compiled = compile_program_cached(
+            jacobi.SOURCE_WRAPPED,
+            entry="jacobi_step",
+            entry_shapes={"Old": ("N", "N")},
+            **common,
+        )
+        inputs = {"Old": make_full((args.n, args.n), 1)}
+    elif app == "triangular":
+        from repro.apps import triangular
+
+        compiled = compile_program_cached(triangular.SOURCE, **common)
+        inputs = None
+    else:
+        raise SystemExit(f"trace: unknown app {app!r}")
+    return execute(
         compiled,
         args.nprocs,
-        inputs={"Old": make_full((args.n, args.n), 1)},
+        inputs=inputs,
         params={"N": args.n},
         extra_globals={"blksize": args.blksize},
         trace=True,
         backend=args.backend,
     )
+
+
+def cmd_timeline(args) -> None:
+    from repro.machine.trace import render_timeline
+
+    outcome = _traced_run(args)
     print(render_timeline(outcome.sim, label=args.strategy))
     print(
         f"messages={outcome.total_messages} "
         f"time={outcome.makespan_us / 1000:.1f} ms"
     )
+    _print_profile(args)
+
+
+def cmd_trace(args) -> None:
+    """Full observability report for one traced run."""
+    from repro.machine.trace import render_timeline
+    from repro.obs import (
+        critical_path,
+        format_critical_path,
+        format_heatmap,
+        format_utilization,
+        write_chrome_trace,
+    )
+
+    outcome = _traced_run(args)
+    label = f"{args.app}-{args.strategy}-N{args.n}-S{args.nprocs}"
+    print(render_timeline(outcome.sim, label=label))
+    print()
+    print(format_utilization(outcome.sim))
+    print()
+    print(format_critical_path(critical_path(outcome.sim)))
+    print()
+    print(format_heatmap(outcome.sim.stats, outcome.sim.nprocs))
+    print()
+    print(
+        f"messages={outcome.total_messages} "
+        f"time={outcome.makespan_us / 1000:.1f} ms"
+    )
+    if args.trace_out:
+        payload = write_chrome_trace(outcome.sim, args.trace_out, label=label)
+        print(
+            f"wrote {len(payload['traceEvents'])} Chrome trace events to "
+            f"{args.trace_out} (open in https://ui.perfetto.dev)"
+        )
     _print_profile(args)
 
 
@@ -296,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         ("msgcount", cmd_msgcount),
         ("blocksize", cmd_blocksize),
         ("timeline", cmd_timeline),
+        ("trace", cmd_trace),
         ("speedup", cmd_speedup),
     ):
         cmd = sub.add_parser(name)
@@ -323,11 +401,21 @@ def main(argv: list[str] | None = None) -> int:
                 help="measure up to N strategy series in parallel "
                      "worker processes",
             )
-        if name == "timeline":
+        if name in ("timeline", "trace"):
             cmd.add_argument(
                 "--strategy",
-                choices=["compile", "optI", "optII", "optIII"],
+                choices=["runtime", "compile", "optI", "optII", "optIII"],
                 default="optIII",
+            )
+        if name == "trace":
+            cmd.add_argument(
+                "--app",
+                choices=["gauss_seidel", "jacobi", "triangular"],
+                default="gauss_seidel",
+            )
+            cmd.add_argument(
+                "--trace-out", type=str, default=None, metavar="FILE",
+                help="also export Chrome trace-event JSON (Perfetto)",
             )
 
     args = parser.parse_args(argv)

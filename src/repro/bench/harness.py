@@ -32,6 +32,7 @@ from repro.apps import gauss_seidel as gs
 from repro.core.compiler import OptLevel, Strategy, compile_program_cached
 from repro.core.runner import execute
 from repro.machine import MachineParams
+from repro.obs.utilization import comm_idle_fractions
 from repro.spmd.interp import run_spmd
 from repro.spmd.layout import gather, make_full, scatter
 
@@ -63,6 +64,10 @@ class MeasurePoint:
     ``BENCH_*.json`` tracks the performance trajectory across PRs.
     ``compile_seconds`` is the host wall-clock the compiler spent inside
     this measurement — near zero when the compile cache is warm.
+    ``comm_frac``/``idle_frac`` split the machine-time integral
+    (``nprocs * makespan``) into communication overhead and idle waiting
+    (see :func:`repro.obs.utilization.comm_idle_fractions`); the
+    remainder is useful compute.
     """
 
     strategy: str
@@ -75,6 +80,8 @@ class MeasurePoint:
     host_seconds: float = 0.0
     backend: str = "compiled"
     compile_seconds: float = 0.0
+    comm_frac: float = 0.0
+    idle_frac: float = 0.0
 
     @property
     def time_ms(self) -> float:
@@ -128,6 +135,7 @@ def measure(
         time_us = result.makespan_us
         messages = result.total_messages
         nbytes = result.sim.stats.total_bytes
+        sim = result.sim
     else:
         # Promise S >= 2 only when we actually run more than one processor.
         assume_min = 2 if nprocs >= 2 else 1
@@ -151,7 +159,9 @@ def measure(
         time_us = outcome.makespan_us
         messages = outcome.total_messages
         nbytes = outcome.sim.stats.total_bytes
+        sim = outcome.sim
 
+    comm_frac, idle_frac = comm_idle_fractions(sim)
     return MeasurePoint(
         strategy=strategy,
         n=n,
@@ -163,6 +173,8 @@ def measure(
         host_seconds=host_seconds,
         backend=backend,
         compile_seconds=compile_seconds,
+        comm_frac=comm_frac,
+        idle_frac=idle_frac,
     )
 
 

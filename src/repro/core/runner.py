@@ -51,6 +51,7 @@ def execute(
     specialize: bool = False,
     placement: list[int] | None = None,
     backend: str = "compiled",
+    strict: bool = False,
 ) -> ExecutionOutcome:
     """Execute ``compiled`` on ``nprocs`` processors.
 
@@ -63,7 +64,8 @@ def execute(
     (the paper's per-processor code generation), removing guard overhead.
     ``placement`` maps the ``nprocs`` processes onto fewer physical
     processors (paper §5.3-5.4). ``backend`` selects the execution
-    engine (see :func:`repro.spmd.interp.run_spmd`).
+    engine and ``strict`` makes undelivered messages fatal (see
+    :func:`repro.spmd.interp.run_spmd`).
     """
     inputs = inputs or {}
     params = dict(params or {})
@@ -129,6 +131,7 @@ def execute(
             max_steps=max_steps,
             placement=placement,
             backend=backend,
+            strict=strict,
         )
 
     if compiled.entry_return_array is not None:

@@ -65,10 +65,34 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """All live simulated processes are blocked on receives."""
+    """All live simulated processes are blocked on receives.
 
-    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+    Carries the full forensic picture of the stuck configuration:
+
+    ``blocked``
+        ``{rank: "(src, dst, channel)"}`` — who waits on what (legacy,
+        human-readable form).
+    ``wait_for``
+        ``{rank: {"key": (src, dst, channel), "sender_status": str,
+        "sender_waiting_on": tuple | None}}`` — the wait-for graph: each
+        blocked rank, the channel key it is receiving on, the status of
+        the process it waits for, and (if that sender is itself blocked)
+        the key the sender waits on.
+    ``undelivered``
+        ``{(src, dst, channel): count}`` — messages sitting in queues
+        that no live process will ever consume.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked: dict[int, str] | None = None,
+        wait_for: dict[int, dict] | None = None,
+        undelivered: dict[tuple, int] | None = None,
+    ):
         self.blocked = dict(blocked or {})
+        self.wait_for = dict(wait_for or {})
+        self.undelivered = dict(undelivered or {})
         super().__init__(message)
 
 

@@ -15,7 +15,7 @@ message statistics, and detects deadlock.
 
 from repro.machine.costs import MachineParams
 from repro.machine.process import Compute, Recv, Send
-from repro.machine.simulator import SimResult, Simulator
+from repro.machine.simulator import SimResult, Simulator, TraceEvent
 from repro.machine.stats import ChannelKey, MessageStats
 
 __all__ = [
@@ -27,4 +27,5 @@ __all__ = [
     "Send",
     "SimResult",
     "Simulator",
+    "TraceEvent",
 ]

@@ -40,12 +40,55 @@ class _Status(Enum):
     FAILED = auto()
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
+    """One structured simulation event (``trace=True`` runs only).
+
+    The same record is produced regardless of execution backend — the
+    engine, not the node program, emits events — so the ``interp`` and
+    ``compiled`` backends yield bit-identical traces for the same
+    program. All times are simulated microseconds.
+
+    Field meaning by ``kind``:
+
+    ``"send"``
+        ``time_us`` is the send *completion* time on the sender's clock;
+        ``overhead_us`` the sender-side cost (start-up + bandwidth, or
+        the memory-copy cost for a co-located destination);
+        ``arrival_us`` when the message becomes receivable at ``dst``.
+    ``"recv"``
+        ``time_us`` is the receive completion; ``arrival_us`` when the
+        consumed message arrived; ``wait_us`` how long the receiver's
+        clock sat idle waiting for it (0 when it was already there);
+        ``queue_us`` how long the message sat queued past its arrival;
+        ``overhead_us`` the receiver-side consumption cost.
+    ``"done"``
+        ``time_us`` is the process's finish time; channel fields unused.
+    """
+
     time_us: float
     proc: int
     kind: str  # "send" | "recv" | "done"
-    detail: str
+    cpu: int = 0
+    src: int = -1
+    dst: int = -1
+    channel: str = ""
+    plen: int = 0
+    nbytes: int = 0
+    arrival_us: float = 0.0
+    wait_us: float = 0.0
+    queue_us: float = 0.0
+    overhead_us: float = 0.0
+    local: bool = False
+
+    @property
+    def detail(self) -> str:
+        """Human-readable summary (the old string-detail field)."""
+        if self.kind == "send":
+            return f"->{self.dst} {self.channel} x{self.plen}"
+        if self.kind == "recv":
+            return f"<-{self.src} {self.channel} x{self.plen}"
+        return ""
 
 
 @dataclass
@@ -66,6 +109,15 @@ class SimResult:
     trace: list[TraceEvent] = field(default_factory=list)
     cpu_finish_us: list[float] = field(default_factory=list)
     cpu_busy_us: list[float] = field(default_factory=list)
+    comm_times_us: list[float] = field(default_factory=list)
+    """Per-process communication overhead (send costs + recv overheads),
+    a subset of ``busy_times_us``; busy minus comm is pure compute."""
+    undelivered: dict[ChannelKey, int] = field(default_factory=dict)
+    """Messages still queued when the run completed — generated code must
+    consume every message, so a non-empty dict means a codegen bug."""
+    traced: bool = False
+    """Whether the run recorded events (distinguishes an untraced run
+    from a traced run of a program that never communicated)."""
 
     @property
     def makespan_us(self) -> float:
@@ -78,6 +130,10 @@ class SimResult:
     def total_messages(self) -> int:
         return self.stats.total_messages
 
+    @property
+    def undelivered_count(self) -> int:
+        return sum(self.undelivered.values())
+
 
 class _Proc:
     __slots__ = (
@@ -85,6 +141,7 @@ class _Proc:
         "gen",
         "cpu",
         "busy",
+        "comm",
         "finish",
         "status",
         "waiting_on",
@@ -92,6 +149,7 @@ class _Proc:
         "resume_value",
         "pending_effect",
         "deferred",
+        "steps",
     )
 
     def __init__(self, rank: int, gen: Generator, cpu: int):
@@ -99,6 +157,7 @@ class _Proc:
         self.gen = gen
         self.cpu = cpu
         self.busy = 0.0
+        self.comm = 0.0
         self.finish = 0.0
         self.status = _Status.READY
         self.waiting_on: ChannelKey | None = None
@@ -106,6 +165,7 @@ class _Proc:
         self.resume_value: object = None
         self.pending_effect: Recv | None = None
         self.deferred = False
+        self.steps = 0
 
 
 class Simulator:
@@ -117,6 +177,7 @@ class Simulator:
         params: MachineParams | None = None,
         trace: bool = False,
         max_steps: int = 50_000_000,
+        strict: bool = False,
     ):
         if nprocs < 1:
             raise SimulationError(f"need at least one processor, got {nprocs}")
@@ -124,6 +185,7 @@ class Simulator:
         self.params = params or MachineParams.ipsc2()
         self.trace_enabled = trace
         self.max_steps = max_steps
+        self.strict = strict
 
     def run(
         self, factory: ProcessFactory, placement: list[int] | None = None
@@ -167,7 +229,55 @@ class Simulator:
         stats = MessageStats()
         trace: list[TraceEvent] = []
         steps = 0
+        send_cost: dict[int, float] = {}  # payload length -> sender cost
 
+        ready = deque(procs)
+        try:
+            self._run_loop(
+                procs, ready, queues, blocked_on, stats, trace, steps,
+                cpu_clock, cpu_busy, ready_count, placement, send_cost,
+            )
+        finally:
+            # Whatever ends the run — completion, a NodeRuntimeError on
+            # one rank, deadlock — close the other ranks' generator
+            # frames so their finally blocks and resource cleanup run
+            # instead of leaking ResourceWarnings at GC time.
+            for p in procs:
+                if p.status is _Status.READY or p.status is _Status.BLOCKED:
+                    try:
+                        p.gen.close()
+                    except Exception:
+                        pass
+
+        undelivered = {key: len(q) for key, q in queues.items() if q}
+        if undelivered and self.strict:
+            leaked = ", ".join(
+                f"{key.src}->{key.dst} {key.channel!r} x{count}"
+                for key, count in sorted(undelivered.items())
+            )
+            raise SimulationError(
+                f"{sum(undelivered.values())} undelivered message(s) at "
+                f"completion (strict mode): {leaked}"
+            )
+
+        return SimResult(
+            nprocs=self.nprocs,
+            finish_times_us=[p.finish for p in procs],
+            busy_times_us=[p.busy for p in procs],
+            returned=[p.returned for p in procs],
+            stats=stats,
+            trace=trace,
+            cpu_finish_us=list(self._cpu_clock),
+            cpu_busy_us=list(self._cpu_busy),
+            comm_times_us=[p.comm for p in procs],
+            undelivered=undelivered,
+            traced=self.trace_enabled,
+        )
+
+    def _run_loop(
+        self, procs, ready, queues, blocked_on, stats, trace, steps,
+        cpu_clock, cpu_busy, ready_count, placement, send_cost,
+    ):
         # Loop invariants, hoisted: the effect dispatch below runs once
         # per yielded effect and dominates simulation wall-clock.
         nprocs = self.nprocs
@@ -178,19 +288,21 @@ class Simulator:
         latency_us = params.latency_us
         recv_overhead_us = params.message_cost_recv()
         scalar_bytes = params.scalar_bytes
-        send_cost: dict[int, float] = {}  # payload length -> sender cost
 
-        ready = deque(procs)
         while ready:
             proc = ready.popleft()
             if proc.status is not _Status.READY:
                 continue
+            burst = steps
             while proc.status is _Status.READY:
                 steps += 1
                 if steps > max_steps:
+                    proc.steps += steps - burst
+                    hottest = max(procs, key=lambda p: p.steps)
                     raise SimulationError(
                         f"simulation exceeded {self.max_steps} steps "
-                        "(livelock or runaway program?)"
+                        "(livelock or runaway program?); hottest process: "
+                        f"rank {hottest.rank} with {hottest.steps} steps"
                     )
                 try:
                     if proc.pending_effect is not None:
@@ -208,7 +320,9 @@ class Simulator:
                     proc.finish = cpu_clock[proc.cpu]
                     if trace_enabled:
                         trace.append(
-                            TraceEvent(proc.finish, proc.rank, "done", "")
+                            TraceEvent(
+                                proc.finish, proc.rank, "done", cpu=proc.cpu
+                            )
                         )
                     break
                 except (DeadlockError, SimulationError):
@@ -267,9 +381,11 @@ class Simulator:
                     cpu_clock[cpu] = clock
                     cpu_busy[cpu] += cost
                     proc.busy += cost
+                    proc.comm += cost
                     proc.finish = clock
                     key = ChannelKey(proc.rank, dst, effect.channel)
-                    queues[key].append((clock + arrival_delay, payload))
+                    arrival = clock + arrival_delay
+                    queues[key].append((arrival, payload))
                     if not local:
                         # Local deliveries are memory copies, not network
                         # messages.
@@ -280,7 +396,15 @@ class Simulator:
                                 clock,
                                 proc.rank,
                                 "send",
-                                f"->{dst} {effect.channel} x{plen}",
+                                cpu=cpu,
+                                src=proc.rank,
+                                dst=dst,
+                                channel=effect.channel,
+                                plen=plen,
+                                nbytes=plen * scalar_bytes,
+                                arrival_us=arrival,
+                                overhead_us=cost,
+                                local=local,
                             )
                         )
                     waiters = blocked_on.get(key)
@@ -335,28 +459,42 @@ class Simulator:
                             break
                         arrival_time, payload = queue.popleft()
                         proc.deferred = False
+                        local = placement[src] == cpu
                         overhead = (
                             mem_us * len(payload)
-                            if placement[src] == cpu
+                            if local
                             else recv_overhead_us
                         )
-                        clock = cpu_clock[cpu]
+                        before = cpu_clock[cpu]
+                        clock = before
                         if arrival_time > clock:
                             clock = arrival_time
                         clock += overhead
                         cpu_clock[cpu] = clock
                         cpu_busy[cpu] += overhead
                         proc.busy += overhead
+                        proc.comm += overhead
                         proc.finish = clock
                         proc.waiting_on = None
                         proc.resume_value = payload
                         if trace_enabled:
+                            plen = len(payload)
                             trace.append(
                                 TraceEvent(
                                     clock,
                                     proc.rank,
                                     "recv",
-                                    f"<-{src} {key.channel} x{len(payload)}",
+                                    cpu=cpu,
+                                    src=src,
+                                    dst=proc.rank,
+                                    channel=key.channel,
+                                    plen=plen,
+                                    nbytes=plen * scalar_bytes,
+                                    arrival_us=arrival_time,
+                                    wait_us=max(0.0, arrival_time - before),
+                                    queue_us=max(0.0, before - arrival_time),
+                                    overhead_us=overhead,
+                                    local=local,
                                 )
                             )
                 else:
@@ -364,23 +502,63 @@ class Simulator:
                         f"process {proc.rank} yielded unknown effect {effect!r}"
                     )
 
+            proc.steps += steps - burst
+
             if not ready:
                 blocked = [p for p in procs if p.status is _Status.BLOCKED]
                 if blocked:
-                    raise DeadlockError(
-                        "all live processes are blocked on receives",
-                        blocked={
-                            p.rank: str(p.waiting_on) for p in blocked
-                        },
-                    )
+                    raise _deadlock_error(procs, blocked, queues)
 
-        return SimResult(
-            nprocs=self.nprocs,
-            finish_times_us=[p.finish for p in procs],
-            busy_times_us=[p.busy for p in procs],
-            returned=[p.returned for p in procs],
-            stats=stats,
-            trace=trace,
-            cpu_finish_us=list(self._cpu_clock),
-            cpu_busy_us=list(self._cpu_busy),
+
+def _deadlock_error(
+    procs: list[_Proc],
+    blocked: list[_Proc],
+    queues: dict[ChannelKey, deque],
+) -> DeadlockError:
+    """Build a DeadlockError carrying the full wait-for graph.
+
+    For every blocked rank: the (src, dst, channel) key it is receiving
+    on, the status of the process it waits for, and — if that sender is
+    itself blocked — what *it* waits on. Messages sitting undelivered in
+    queues are listed too: a deadlock with queued traffic usually means
+    mismatched channel names rather than a missing send.
+    """
+    wait_for: dict[int, dict] = {}
+    for p in blocked:
+        key = p.waiting_on
+        entry: dict = {"key": tuple(key)}
+        sender = procs[key.src] if 0 <= key.src < len(procs) else None
+        if sender is not None:
+            entry["sender_status"] = sender.status.name
+            entry["sender_waiting_on"] = (
+                tuple(sender.waiting_on)
+                if sender.waiting_on is not None
+                else None
+            )
+        wait_for[p.rank] = entry
+    undelivered = {tuple(k): len(q) for k, q in queues.items() if q}
+    lines = ["all live processes are blocked on receives"]
+    for rank in sorted(wait_for):
+        entry = wait_for[rank]
+        src, _, channel = entry["key"]
+        status = entry.get("sender_status", "?")
+        suffix = ""
+        if entry.get("sender_waiting_on") is not None:
+            s_src, _, s_channel = entry["sender_waiting_on"]
+            suffix = f", itself waiting on {s_src} {s_channel!r}"
+        lines.append(
+            f"  rank {rank} waits on {src} {channel!r} "
+            f"(sender {status}{suffix})"
         )
+    if undelivered:
+        queued = ", ".join(
+            f"{src}->{dst} {channel!r} x{count}"
+            for (src, dst, channel), count in sorted(undelivered.items())
+        )
+        lines.append(f"  undelivered in queues: {queued}")
+    return DeadlockError(
+        "\n".join(lines),
+        blocked={p.rank: str(p.waiting_on) for p in blocked},
+        wait_for=wait_for,
+        undelivered=undelivered,
+    )

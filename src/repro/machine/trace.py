@@ -6,21 +6,33 @@ visible at a glance: the wavefront of Optimized II/III shows up as a
 staircase of send/receive marks, while the unoptimized compile-time code
 shows one long serial band.
 
-Marks: ``s`` send, ``r`` receive, ``*`` both in the same bucket,
-``.`` finished.
+Marks: ``s`` send, ``r`` receive, ``*`` send *and* receive in the same
+bucket, ``.`` finished. A ``done`` mark never obscures communication
+marks landing in the same bucket — only a genuine send/recv collision
+collapses to ``*``.
+
+For the richer views built on the structured event records — critical
+path, utilization breakdown, src×dst heatmap, Chrome/Perfetto export —
+see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 from repro.machine.simulator import SimResult, TraceEvent
 
+UNTRACED = "(no trace recorded; run the simulator with trace=True)"
+
+
+def _untraced(result: SimResult) -> bool:
+    return not result.traced and not result.trace
+
 
 def render_timeline(
     result: SimResult, width: int = 72, label: str = "t"
 ) -> str:
     """ASCII timeline of a traced run (requires ``trace=True``)."""
-    if not result.trace:
-        return "(no trace recorded; run the simulator with trace=True)"
+    if _untraced(result):
+        return UNTRACED
     horizon = max(result.makespan_us, 1e-9)
     buckets: dict[int, list[str]] = {
         rank: [" "] * width for rank in range(result.nprocs)
@@ -31,7 +43,13 @@ def render_timeline(
         current = row[position]
         if current == " " or current == symbol:
             row[position] = symbol
+        elif symbol == ".":
+            pass  # a done mark never hides communication activity
+        elif current == ".":
+            row[position] = symbol
         else:
+            # Only send/recv (or an existing ``*``) reach here: the
+            # bucket contains both kinds of communication.
             row[position] = "*"
 
     for event in result.trace:
@@ -46,12 +64,14 @@ def render_timeline(
     lines = [f"timeline ({label} = 0 .. {horizon:.0f} us)"]
     for rank in range(result.nprocs):
         lines.append(f"p{rank:<3d} |{''.join(buckets[rank])}|")
-    lines.append("      s=send r=recv *=both .=done")
+    lines.append("      s=send r=recv *=send+recv .=done")
     return "\n".join(lines)
 
 
 def trace_summary(result: SimResult) -> str:
     """Counts of traced events per kind."""
+    if _untraced(result):
+        return UNTRACED
     counts: dict[str, int] = {}
     for event in result.trace:
         counts[event.kind] = counts.get(event.kind, 0) + 1
@@ -62,7 +82,13 @@ def trace_summary(result: SimResult) -> str:
 def filter_trace(
     result: SimResult, proc: int | None = None, kind: str | None = None
 ) -> list[TraceEvent]:
-    """Events of one process and/or kind, in time order."""
+    """Events of one process and/or kind, in time order.
+
+    Raises ``ValueError`` on an untraced run — an empty answer there
+    would be indistinguishable from "this process never communicated".
+    """
+    if _untraced(result):
+        raise ValueError(UNTRACED)
     events = [
         e
         for e in result.trace

@@ -1,0 +1,52 @@
+"""Observability over the discrete-event engine (the "why is it slow" kit).
+
+Built entirely on the structured :class:`~repro.machine.TraceEvent`
+records and the always-on per-process accounting in
+:class:`~repro.machine.SimResult` — the simulator's hot loop pays
+nothing for any of this unless ``trace=True`` is requested.
+
+* :func:`critical_path` / :func:`format_critical_path` — the dependency
+  chain that determines the makespan, with per-link attribution to
+  compute / send start-up / receive overhead / latency / wait.
+* :func:`utilization` / :func:`format_utilization` /
+  :func:`comm_idle_fractions` — per-rank busy/comm/idle split.
+* :func:`heatmap_matrix` / :func:`format_heatmap` — src×dst message and
+  byte profiles.
+* :func:`chrome_trace` / :func:`write_chrome_trace` /
+  :func:`validate_chrome_trace` — Chrome trace-event JSON for Perfetto.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.critical_path import (
+    CriticalPath,
+    Link,
+    critical_path,
+    format_critical_path,
+)
+from repro.obs.heatmap import format_heatmap, heatmap_matrix
+from repro.obs.utilization import (
+    RankUtilization,
+    comm_idle_fractions,
+    format_utilization,
+    utilization,
+)
+
+__all__ = [
+    "CriticalPath",
+    "Link",
+    "RankUtilization",
+    "chrome_trace",
+    "comm_idle_fractions",
+    "critical_path",
+    "format_critical_path",
+    "format_heatmap",
+    "format_utilization",
+    "heatmap_matrix",
+    "utilization",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,196 @@
+"""Chrome trace-event JSON export, viewable in Perfetto.
+
+Serializes a structured trace (``trace=True`` runs) into the Chrome
+trace-event format (`ui.perfetto.dev` or ``chrome://tracing``): each
+send/receive becomes a complete ("X") slice on its processor's track,
+message deliveries become flow arrows from send completion to receive
+start, and process finishes become instant events. Timestamps are
+simulated microseconds, which is exactly the unit the format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+from repro.machine.simulator import SimResult
+
+
+def chrome_trace(result: SimResult, label: str = "repro") -> dict:
+    """The run as a Chrome trace-event payload (a JSON-ready dict)."""
+    if not result.traced and not result.trace:
+        raise ValueError(
+            "Chrome export needs a traced run "
+            "(run the simulator with trace=True)"
+        )
+    events: list[dict] = []
+    cpus = sorted({e.cpu for e in result.trace})
+    for cpu in cpus:
+        events.append(
+            {
+                "ph": "M",
+                "pid": cpu,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"cpu{cpu}"},
+            }
+        )
+    ranks = sorted({e.proc for e in result.trace})
+    for e in result.trace:
+        if e.kind == "done":
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": e.cpu,
+                    "tid": e.proc,
+                    "name": "thread_name",
+                    "args": {"name": f"rank{e.proc}"},
+                }
+            )
+
+    flow = 0
+    pending: dict[tuple, list[tuple[int, float]]] = defaultdict(list)
+    for e in result.trace:
+        if e.kind == "send":
+            flow += 1
+            key = (e.src, e.dst, e.channel)
+            pending[key].append((flow, e.time_us))
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"send {e.channel} ->p{e.dst}",
+                    "cat": "send",
+                    "pid": e.cpu,
+                    "tid": e.proc,
+                    "ts": e.time_us - e.overhead_us,
+                    "dur": e.overhead_us,
+                    "args": {
+                        "channel": e.channel,
+                        "src": e.src,
+                        "dst": e.dst,
+                        "plen": e.plen,
+                        "bytes": e.nbytes,
+                        "arrival_us": e.arrival_us,
+                        "local": e.local,
+                    },
+                }
+            )
+            events.append(
+                {
+                    "ph": "s",
+                    "name": "msg",
+                    "cat": "msg",
+                    "id": flow,
+                    "pid": e.cpu,
+                    "tid": e.proc,
+                    "ts": e.time_us,
+                }
+            )
+        elif e.kind == "recv":
+            key = (e.src, e.dst, e.channel)
+            queue = pending.get(key)
+            flow_id = queue.pop(0)[0] if queue else None
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"recv {e.channel} <-p{e.src}",
+                    "cat": "recv",
+                    "pid": e.cpu,
+                    "tid": e.proc,
+                    "ts": e.time_us - e.overhead_us,
+                    "dur": e.overhead_us,
+                    "args": {
+                        "channel": e.channel,
+                        "src": e.src,
+                        "dst": e.dst,
+                        "plen": e.plen,
+                        "bytes": e.nbytes,
+                        "arrival_us": e.arrival_us,
+                        "wait_us": e.wait_us,
+                        "queue_us": e.queue_us,
+                        "local": e.local,
+                    },
+                }
+            )
+            if flow_id is not None:
+                events.append(
+                    {
+                        "ph": "f",
+                        "name": "msg",
+                        "cat": "msg",
+                        "id": flow_id,
+                        "bp": "e",
+                        "pid": e.cpu,
+                        "tid": e.proc,
+                        "ts": e.time_us - e.overhead_us,
+                    }
+                )
+        elif e.kind == "done":
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"rank{e.proc} done",
+                    "cat": "done",
+                    "s": "t",
+                    "pid": e.cpu,
+                    "tid": e.proc,
+                    "ts": e.time_us,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "nprocs": result.nprocs,
+            "ranks": len(ranks),
+            "makespan_us": result.makespan_us,
+            "messages": result.total_messages,
+        },
+    }
+
+
+def validate_chrome_trace(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed export.
+
+    Checks the invariants Perfetto relies on: a ``traceEvents`` list,
+    every event carrying ``ph``/``pid``/``tid``/``name``, duration
+    events carrying non-negative ``ts``/``dur``, and flow starts/ends
+    pairing up by id.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("missing traceEvents")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    starts: dict[object, int] = defaultdict(int)
+    ends: dict[object, int] = defaultdict(int)
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise ValueError(f"event {i} is not an object")
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in e:
+                raise ValueError(f"event {i} missing {field!r}")
+        ph = e["ph"]
+        if ph == "X":
+            if e.get("ts", -1) < 0 or e.get("dur", -1) < 0:
+                raise ValueError(f"event {i}: bad ts/dur")
+        elif ph in ("s", "f"):
+            if "id" not in e:
+                raise ValueError(f"event {i}: flow event missing id")
+            (starts if ph == "s" else ends)[e["id"]] += 1
+    for flow_id, n in ends.items():
+        if starts.get(flow_id, 0) < n:
+            raise ValueError(f"flow {flow_id} ends without a start")
+
+
+def write_chrome_trace(
+    result: SimResult, path: str, label: str = "repro"
+) -> dict:
+    """Export to ``path`` (validated); returns the payload."""
+    payload = chrome_trace(result, label=label)
+    validate_chrome_trace(payload)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return payload

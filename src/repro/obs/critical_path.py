@@ -1,0 +1,192 @@
+"""Critical-path extraction from a structured event trace.
+
+The makespan of a message-passing run is determined by one dependency
+chain: the slowest processor's final event, back through whatever bounded
+each event — the preceding local work, or the arrival of a message, in
+which case the chain hops to the sender's processor at the send's
+completion time. Walking that chain backwards and attributing every
+microsecond along it answers the paper's central question (§4) — *where
+does the time go?* — mechanically: a chain dominated by ``send-startup``
+links is the paper's "messages are very expensive" regime that message
+vectorization (Appendix A.2) attacks; a chain dominated by ``compute``
+links means the decomposition, not the messaging, is the bottleneck.
+
+Matching a receive to its send uses the FIFO discipline the simulator
+guarantees per (src, dst, channel) key: the k-th receive on a key
+consumes the k-th send on that key, so the trace alone reconstructs the
+dependency graph with no extra bookkeeping in the hot engine loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.machine.simulator import SimResult
+
+#: Attribution categories, in display order.
+KINDS = ("compute", "send-startup", "recv-overhead", "latency", "wait")
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Link:
+    """One attributed segment [t0, t1] of the critical path."""
+
+    kind: str  # one of KINDS
+    us: float
+    t0: float
+    t1: float
+    cpu: int  # physical processor (-1 for in-flight latency)
+    proc: int  # responsible rank (-1 when not attributable to one)
+    channel: str = ""
+
+
+@dataclass
+class CriticalPath:
+    """The dependency chain that determines ``makespan_us``."""
+
+    links: list[Link]  # forward time order, links[i].t1 == links[i+1].t0
+    makespan_us: float
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the makespan the chain accounts for (≈ 1.0)."""
+        if self.makespan_us <= 0.0:
+            return 1.0
+        return sum(self.totals.values()) / self.makespan_us
+
+
+def critical_path(result: SimResult) -> CriticalPath:
+    """Back-chain the makespan-determining dependency chain.
+
+    Requires a traced run (``trace=True``); raises ``ValueError``
+    otherwise.
+    """
+    if not result.traced and not result.trace:
+        raise ValueError(
+            "critical-path analysis needs a traced run "
+            "(run the simulator with trace=True)"
+        )
+    trace = result.trace
+    makespan = result.makespan_us
+    if makespan <= 0.0 or not trace:
+        return CriticalPath(links=[], makespan_us=makespan, totals={})
+
+    # Per-CPU event sequences (clock-ordered because each CPU's clock is
+    # monotone) and FIFO send<->recv matching per channel key.
+    by_cpu: dict[int, list[int]] = defaultdict(list)
+    pos_of: dict[int, tuple[int, int]] = {}
+    sends: dict[tuple, list[int]] = defaultdict(list)
+    match_send: dict[int, int] = {}
+    taken: dict[tuple, int] = defaultdict(int)
+    for i, e in enumerate(trace):
+        pos_of[i] = (e.cpu, len(by_cpu[e.cpu]))
+        by_cpu[e.cpu].append(i)
+        if e.kind == "send":
+            sends[(e.src, e.dst, e.channel)].append(i)
+        elif e.kind == "recv":
+            key = (e.src, e.dst, e.channel)
+            k = taken[key]
+            taken[key] = k + 1
+            if k < len(sends[key]):
+                match_send[i] = sends[key][k]
+
+    finishes = result.cpu_finish_us or result.finish_times_us
+    cpu = max(range(len(finishes)), key=lambda c: finishes[c])
+    if not result.cpu_finish_us:
+        # finish_times are per-process; map the slowest process to its CPU
+        # via its done event (identity placement has cpu == rank anyway).
+        for i in reversed(range(len(trace))):
+            if trace[i].kind == "done" and trace[i].proc == cpu:
+                cpu = trace[i].cpu
+                break
+
+    links: list[Link] = []
+    lst = by_cpu.get(cpu, [])
+    pos = len(lst) - 1
+    cursor = makespan
+    limit = 4 * len(trace) + 8  # each event is visited at most once
+
+    def add(kind, us, cpu_, proc, channel=""):
+        if us > _EPS:
+            links.append(Link(kind, us, cursor - us, cursor, cpu_, proc,
+                              channel))
+
+    while limit > 0:
+        limit -= 1
+        if pos < 0:
+            # Start of this CPU's recorded activity: everything from the
+            # beginning of time is uninterrupted local work.
+            add("compute", cursor, cpu, -1)
+            cursor = 0.0
+            break
+        e = trace[lst[pos]]
+        if e.time_us < cursor - _EPS:
+            # Untraced local work (Compute effects) between this event's
+            # completion and the later bound.
+            add("compute", cursor - e.time_us, cpu, e.proc)
+            cursor = e.time_us
+        if e.kind == "done":
+            pos -= 1
+            continue
+        if e.kind == "send":
+            add("send-startup", e.overhead_us, cpu, e.proc, e.channel)
+            cursor -= e.overhead_us
+            pos -= 1
+            continue
+        # recv: completion = max(local clock, arrival) + overhead
+        add("recv-overhead", e.overhead_us, cpu, e.proc, e.channel)
+        cursor -= e.overhead_us
+        if e.wait_us > _EPS:
+            # Arrival bounded the receive: hop to the sender.
+            si = match_send.get(lst[pos])
+            if si is None:
+                # No matching send event (foreign trace fragment);
+                # attribute the idle wait and continue locally.
+                add("wait", e.wait_us, cpu, e.proc, e.channel)
+                cursor -= e.wait_us
+                pos -= 1
+                continue
+            s = trace[si]
+            add("latency", cursor - s.time_us, -1, -1, e.channel)
+            cursor = s.time_us
+            cpu, pos = pos_of[si]
+            lst = by_cpu[cpu]
+            continue
+        pos -= 1
+
+    links.reverse()
+    totals = {kind: 0.0 for kind in KINDS}
+    for link in links:
+        totals[link.kind] = totals.get(link.kind, 0.0) + link.us
+    return CriticalPath(links=links, makespan_us=makespan, totals=totals)
+
+
+def format_critical_path(cp: CriticalPath, max_links: int = 16) -> str:
+    """Attribution table plus the tail of the chain, as aligned text."""
+    lines = [
+        f"critical path: {len(cp.links)} links, "
+        f"{cp.coverage:.1%} of makespan {cp.makespan_us:.1f} us"
+    ]
+    for kind in KINDS:
+        us = cp.totals.get(kind, 0.0)
+        if us <= 0.0 and kind not in ("compute",):
+            continue
+        share = us / cp.makespan_us if cp.makespan_us > 0 else 0.0
+        lines.append(f"  {kind:<14} {us:12.1f} us  {share:6.1%}")
+    if cp.links:
+        shown = cp.links[-max_links:]
+        if len(cp.links) > len(shown):
+            lines.append(f"  ... {len(cp.links) - len(shown)} earlier links")
+        for link in shown:
+            where = "net" if link.cpu < 0 else f"cpu{link.cpu}"
+            who = "" if link.proc < 0 else f" p{link.proc}"
+            chan = f" {link.channel!r}" if link.channel else ""
+            lines.append(
+                f"  [{link.t0:12.1f} .. {link.t1:12.1f}] "
+                f"{link.kind:<14} {where}{who}{chan}"
+            )
+    return "\n".join(lines)

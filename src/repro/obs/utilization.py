@@ -1,0 +1,114 @@
+"""Per-rank utilization breakdown: busy / communication / idle.
+
+The flat curves of EXPERIMENTS.md §F6 — run-time and compile-time
+resolution barely improving past S=4 — are an idle-time story: every
+processor executes the full iteration space's guards but spends most of
+the makespan waiting for the serial wavefront to reach it. This module
+splits each rank's makespan into
+
+* ``compute_us`` — local work (scalar ops, array accesses),
+* ``comm_us`` — message overhead (send start-up + bandwidth charges and
+  receive consumption costs; the paper's "start-up" budget),
+* ``idle_us`` — the remainder: blocked on receives or starved.
+
+The split needs no trace: the simulator always tracks per-process
+communication time alongside busy time (``SimResult.comm_times_us``),
+so the breakdown is available for every run at zero extra cost.
+
+With a non-identity placement (several processes per CPU, §5.3), idle
+time is reported relative to the makespan per *process*; co-located
+processes legitimately overlap, so their per-rank idle can double-count
+processor-level idle — use ``cpu_busy_us`` for CPU-level accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.simulator import SimResult
+
+
+@dataclass(frozen=True)
+class RankUtilization:
+    """One rank's split of the makespan."""
+
+    rank: int
+    busy_us: float
+    comm_us: float
+    compute_us: float
+    idle_us: float
+
+    def fractions(self, makespan_us: float) -> tuple[float, float, float]:
+        """(compute, comm, idle) as fractions of the makespan."""
+        if makespan_us <= 0.0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.compute_us / makespan_us,
+            self.comm_us / makespan_us,
+            self.idle_us / makespan_us,
+        )
+
+
+def utilization(result: SimResult) -> list[RankUtilization]:
+    """The busy/comm/idle split for every rank."""
+    horizon = result.makespan_us
+    comm = result.comm_times_us or [0.0] * result.nprocs
+    out = []
+    for rank in range(result.nprocs):
+        busy = result.busy_times_us[rank]
+        c = comm[rank]
+        out.append(
+            RankUtilization(
+                rank=rank,
+                busy_us=busy,
+                comm_us=c,
+                compute_us=max(0.0, busy - c),
+                idle_us=max(0.0, horizon - busy),
+            )
+        )
+    return out
+
+
+def comm_idle_fractions(result: SimResult) -> tuple[float, float]:
+    """Aggregate (comm, idle) fractions of total processor-time.
+
+    Total processor-time is ``nprocs * makespan``; the comm fraction is
+    the share spent on message overhead, the idle fraction the share
+    spent doing nothing. ``1 - comm - idle`` is pure compute.
+    """
+    horizon = result.makespan_us
+    if horizon <= 0.0 or result.nprocs == 0:
+        return (0.0, 0.0)
+    total = horizon * result.nprocs
+    comm = sum(result.comm_times_us) if result.comm_times_us else 0.0
+    busy = sum(result.busy_times_us)
+    return (comm / total, max(0.0, 1.0 - busy / total))
+
+
+def format_utilization(result: SimResult, max_ranks: int = 32) -> str:
+    """Per-rank table plus the aggregate split, as aligned text."""
+    rows = utilization(result)
+    horizon = result.makespan_us
+    lines = [
+        f"utilization over makespan {horizon:.1f} us "
+        f"({result.nprocs} processes)"
+    ]
+    lines.append(
+        f"  {'rank':<6} {'compute':>12} {'comm':>12} {'idle':>12}   "
+        "compute/comm/idle %"
+    )
+    shown = rows[:max_ranks]
+    for u in shown:
+        fc, fm, fi = u.fractions(horizon)
+        lines.append(
+            f"  p{u.rank:<5d} {u.compute_us:12.1f} {u.comm_us:12.1f} "
+            f"{u.idle_us:12.1f}   {fc:6.1%} {fm:6.1%} {fi:6.1%}"
+        )
+    if len(rows) > len(shown):
+        lines.append(f"  ... {len(rows) - len(shown)} more ranks")
+    comm_frac, idle_frac = comm_idle_fractions(result)
+    lines.append(
+        f"  total: comm {comm_frac:.1%}, idle {idle_frac:.1%}, "
+        f"compute {max(0.0, 1.0 - comm_frac - idle_frac):.1%}"
+    )
+    return "\n".join(lines)

@@ -371,6 +371,7 @@ def run_spmd(
     max_steps: int = 50_000_000,
     placement: list[int] | None = None,
     backend: str = "compiled",
+    strict: bool = False,
 ) -> SPMDResult:
     """Execute ``program`` on ``nprocs`` simulated processes.
 
@@ -385,6 +386,10 @@ def run_spmd(
     runs closures compiled once per (program, rank) by
     :mod:`repro.spmd.compile`; ``"interp"`` is the tree-walking
     reference interpreter, kept as the differential oracle.
+
+    ``strict=True`` turns messages left undelivered at completion into a
+    :class:`~repro.errors.SimulationError` — generated code must consume
+    every message it is sent, so a leak is a codegen bug.
     """
     machine = machine or MachineParams.ipsc2()
 
@@ -406,7 +411,7 @@ def run_spmd(
             f"unknown backend {backend!r} (expected 'compiled' or 'interp')"
         )
 
-    sim = Simulator(nprocs, machine, trace=trace, max_steps=max_steps).run(
-        factory, placement=placement
-    )
+    sim = Simulator(
+        nprocs, machine, trace=trace, max_steps=max_steps, strict=strict
+    ).run(factory, placement=placement)
     return SPMDResult(sim=sim, returned=sim.returned)

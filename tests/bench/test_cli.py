@@ -80,6 +80,43 @@ class TestProfileFlag:
         assert "-- profile --" not in out
 
 
+class TestTraceCommand:
+    def test_renders_full_report(self, capsys):
+        out = run_cli(capsys, "trace", "--n", "10", "--nprocs", "2",
+                      "--blksize", "2")
+        assert "timeline" in out
+        assert "utilization over makespan" in out
+        assert "critical path:" in out
+        assert "heatmap" in out
+
+    def test_trace_out_writes_valid_chrome_json(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        out = run_cli(capsys, "trace", "--n", "10", "--nprocs", "2",
+                      "--blksize", "2", "--trace-out", str(path))
+        assert "perfetto" in out.lower()
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"]
+
+    @pytest.mark.parametrize("app", ["jacobi", "triangular"])
+    def test_other_apps_supported(self, app, capsys):
+        out = run_cli(capsys, "trace", "--app", app, "--n", "8",
+                      "--nprocs", "2", "--strategy", "compile")
+        assert "critical path:" in out
+
+    def test_backends_agree_on_report(self, capsys):
+        outs = {
+            backend: run_cli(
+                capsys, "trace", "--n", "8", "--nprocs", "2",
+                "--blksize", "2", "--backend", backend,
+            )
+            for backend in ("compiled", "interp")
+        }
+        assert outs["compiled"] == outs["interp"]
+
+
 class TestJobsFlag:
     def test_parallel_sweep_matches_serial(self, tmp_path, capsys):
         paths = {}

@@ -109,6 +109,28 @@ class TestCli:
         assert "optIII" in out
 
 
+class TestUtilizationFractions:
+    def test_fractions_recorded_and_bounded(self):
+        point = measure("optIII", 10, 2, blksize=4)
+        assert 0.0 <= point.comm_frac <= 1.0
+        assert 0.0 <= point.idle_frac <= 1.0
+        assert point.comm_frac + point.idle_frac <= 1.0 + 1e-9
+        # iPSC/2 messaging costs dominate this problem size.
+        assert point.comm_frac > 0.0
+
+    def test_free_messages_have_no_comm_fraction(self):
+        point = measure("handwritten", 8, 2, blksize=2, machine=FREE)
+        assert point.comm_frac == 0.0
+
+    def test_flat_fig6_curves_are_an_idle_story(self):
+        # EXPERIMENTS.md §F6: unoptimized compile-time resolution barely
+        # speeds up with more processors because added ranks mostly wait
+        # on the serial wavefront — idle share must grow with S.
+        small = measure("compile", 12, 2, blksize=4)
+        large = measure("compile", 12, 4, blksize=4)
+        assert large.idle_frac > small.idle_frac
+
+
 class TestHostTiming:
     def test_host_seconds_recorded(self):
         point = measure("handwritten", 8, 2, blksize=2, machine=FREE)

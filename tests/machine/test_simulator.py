@@ -298,6 +298,253 @@ class TestErrors:
             Simulator(1, FREE, max_steps=1000).run(make)
 
 
+class TestForensics:
+    def test_deadlock_carries_wait_for_graph(self):
+        # A classic crossed pair: each rank receives on a channel the
+        # other never sends.
+        def make(rank):
+            def zero():
+                yield Recv(1, "a")
+                return None
+
+            def one():
+                yield Recv(0, "b")
+                return None
+
+            return zero() if rank == 0 else one()
+
+        with pytest.raises(DeadlockError) as err:
+            run(2, make)
+        wait_for = err.value.wait_for
+        assert set(wait_for) == {0, 1}
+        assert wait_for[0]["key"] == (1, 0, "a")
+        assert wait_for[0]["sender_status"] == "BLOCKED"
+        assert wait_for[0]["sender_waiting_on"] == (0, 1, "b")
+        assert wait_for[1]["key"] == (0, 1, "b")
+        assert wait_for[1]["sender_waiting_on"] == (1, 0, "a")
+        message = str(err.value)
+        assert "rank 0 waits on 1 'a'" in message
+        assert "itself waiting on 0 'b'" in message
+
+    def test_deadlock_lists_undelivered_queue_contents(self):
+        # Rank 0 ships a message on the wrong channel name, then blocks:
+        # the forensics must point at the queued-but-unread traffic.
+        def make(rank):
+            def zero():
+                yield Send(1, "tyop", (9,))
+                yield Recv(1, "reply")
+                return None
+
+            def one():
+                yield Recv(0, "typo")
+                return None
+
+            return zero() if rank == 0 else one()
+
+        with pytest.raises(DeadlockError) as err:
+            run(2, make)
+        assert err.value.undelivered == {(0, 1, "tyop"): 1}
+        assert "undelivered in queues: 0->1 'tyop' x1" in str(err.value)
+
+    def test_undelivered_recorded_on_result(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "extra", (1,))
+                yield Send(1, "extra", (2,))
+                yield Send(1, "used", (3,))
+                return None
+
+            def receiver():
+                yield Recv(0, "used")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.undelivered_count == 2
+        ((key, count),) = result.undelivered.items()
+        assert (key.src, key.dst, key.channel) == (0, 1, "extra")
+        assert count == 2
+
+    def test_clean_run_has_no_undelivered(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "c", (1,))
+                return None
+
+            def receiver():
+                yield Recv(0, "c")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = run(2, make)
+        assert result.undelivered == {}
+        assert result.undelivered_count == 0
+
+    def test_strict_mode_rejects_undelivered(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "lost", (1,))
+                return None
+
+            def receiver():
+                return None
+                yield  # pragma: no cover
+
+            return sender() if rank == 0 else receiver()
+
+        with pytest.raises(SimulationError, match="undelivered"):
+            Simulator(2, FREE, strict=True).run(make)
+        # The same run without strict completes and reports instead.
+        result = Simulator(2, FREE).run(make)
+        assert result.undelivered_count == 1
+
+    def test_runaway_error_names_hottest_process(self):
+        def make(rank):
+            def calm():
+                yield Compute(1.0)
+                return None
+
+            def spinner():
+                while True:
+                    yield Compute(0.0)
+
+            return calm() if rank == 0 else spinner()
+
+        with pytest.raises(SimulationError, match="rank 1"):
+            Simulator(2, FREE, max_steps=500).run(make)
+
+    def test_generators_closed_after_deadlock(self):
+        # The scheduler must close every live generator on the way out
+        # so their finally blocks run (no dangling resources).
+        closed = []
+
+        def make(rank):
+            def proc():
+                try:
+                    yield Recv(1 - rank, "never")
+                finally:
+                    closed.append(rank)
+                return None
+
+            return proc()
+
+        with pytest.raises(DeadlockError):
+            run(2, make)
+        assert sorted(closed) == [0, 1]
+
+    def test_generators_closed_after_node_error(self):
+        closed = []
+
+        def make(rank):
+            def waiter():
+                try:
+                    yield Recv(1, "never")
+                finally:
+                    closed.append(rank)
+                return None
+
+            def crasher():
+                yield Compute(1.0)
+                raise ValueError("boom")
+
+            return waiter() if rank == 0 else crasher()
+
+        with pytest.raises(NodeRuntimeError):
+            run(2, make)
+        assert 0 in closed
+
+
+class TestStructuredTrace:
+    PARAMS = TestTiming.PARAMS
+
+    def _pingpong(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "a", (1, 2))
+                return None
+
+            def receiver():
+                yield Recv(0, "a")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        return Simulator(2, self.PARAMS, trace=True).run(make)
+
+    def test_traced_flag(self):
+        result = self._pingpong()
+        assert result.traced
+        untraced = Simulator(1, FREE).run(
+            lambda rank: iter(())
+        )
+        assert not untraced.traced and untraced.trace == []
+
+    def test_send_event_fields(self):
+        result = self._pingpong()
+        (send,) = [e for e in result.trace if e.kind == "send"]
+        assert (send.src, send.dst, send.channel) == (0, 1, "a")
+        assert send.plen == 2
+        assert send.nbytes == 2 * self.PARAMS.scalar_bytes
+        # startup 100 + 8 bytes * 1us = 108; wire adds 5us latency
+        assert send.time_us == pytest.approx(108.0)
+        assert send.overhead_us == pytest.approx(108.0)
+        assert send.arrival_us == pytest.approx(113.0)
+        assert not send.local
+
+    def test_recv_event_fields(self):
+        result = self._pingpong()
+        (recv,) = [e for e in result.trace if e.kind == "recv"]
+        assert (recv.src, recv.dst, recv.channel) == (0, 1, "a")
+        # Receiver idled from 0 until the 113us arrival, then paid 10us.
+        assert recv.wait_us == pytest.approx(113.0)
+        assert recv.queue_us == 0.0
+        assert recv.overhead_us == pytest.approx(10.0)
+        assert recv.time_us == pytest.approx(123.0)
+
+    def test_queue_time_recorded_when_receiver_is_late(self):
+        def make(rank):
+            def sender():
+                yield Send(1, "a", (1,))
+                return None
+
+            def receiver():
+                yield Compute(1000.0)
+                yield Recv(0, "a")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = Simulator(2, self.PARAMS, trace=True).run(make)
+        (recv,) = [e for e in result.trace if e.kind == "recv"]
+        assert recv.wait_us == 0.0
+        assert recv.queue_us > 0.0
+
+    def test_detail_property_keeps_legacy_format(self):
+        result = self._pingpong()
+        details = {e.kind: e.detail for e in result.trace}
+        assert details["send"] == "->1 a x2"
+        assert details["recv"] == "<-0 a x2"
+
+    def test_tracing_does_not_perturb_simulated_times(self):
+        def make(rank):
+            def proc():
+                other = 1 - rank
+                yield Compute(10.0 * (rank + 1))
+                yield Send(other, "x", (rank,))
+                yield Recv(other, "x")
+                return None
+
+            return proc()
+
+        plain = Simulator(2, self.PARAMS).run(make)
+        traced = Simulator(2, self.PARAMS, trace=True).run(make)
+        assert plain.finish_times_us == traced.finish_times_us
+        assert plain.busy_times_us == traced.busy_times_us
+        assert plain.comm_times_us == traced.comm_times_us
+
+
 class TestDeterminism:
     def test_repeat_runs_identical(self):
         def make(rank):

@@ -1,5 +1,7 @@
 """Tests for trace rendering utilities."""
 
+import pytest
+
 from repro.machine import MachineParams, Recv, Send, Simulator
 from repro.machine.trace import filter_trace, render_timeline, trace_summary
 
@@ -49,6 +51,60 @@ class TestRenderTimeline:
         row = [line for line in text.splitlines() if line.startswith("p0")][0]
         assert len(row.split("|")[1]) == 20
 
+    def test_legend_reserves_star_for_send_plus_recv(self):
+        text = render_timeline(traced_pingpong())
+        assert "*=send+recv" in text
+
+    def test_done_never_hides_communication(self):
+        # At width=1 every event of a rank lands in the same bucket:
+        # ranks that communicated must show comm marks, not be swallowed
+        # by their own done mark; an idle rank shows plain ".".
+        def factory(rank):
+            def pinger():
+                yield Send(1, "ping", (1,))
+                yield Recv(1, "pong")
+                return None
+
+            def ponger():
+                yield Recv(0, "ping")
+                yield Send(0, "pong", (2,))
+                return None
+
+            def idler():
+                return None
+                yield  # pragma: no cover
+
+            return [pinger, ponger, idler][rank]()
+
+        result = Simulator(3, MachineParams.ipsc2(), trace=True).run(factory)
+        rows = {
+            line.split()[0]: line.split("|")[1]
+            for line in render_timeline(result, width=1).splitlines()
+            if line.startswith("p")
+        }
+        assert rows["p0"] == "*"  # send and recv collided, done hidden
+        assert rows["p1"] == "*"
+        assert rows["p2"] == "."  # nothing to hide: done shows through
+
+    def test_send_mark_survives_done_in_same_bucket(self):
+        def factory(rank):
+            def sender():
+                yield Send(1, "c", (1,))
+                return None
+
+            def receiver():
+                yield Recv(0, "c")
+                return None
+
+            return sender() if rank == 0 else receiver()
+
+        result = Simulator(2, MachineParams.ipsc2(), trace=True).run(factory)
+        row = [
+            line for line in render_timeline(result, width=1).splitlines()
+            if line.startswith("p0")
+        ][0]
+        assert row.split("|")[1] == "s"
+
 
 class TestSummaryAndFilter:
     def test_summary_counts(self):
@@ -66,3 +122,27 @@ class TestSummaryAndFilter:
         events = filter_trace(traced_pingpong(), kind="send")
         assert len(events) == 2
         assert all(e.kind == "send" for e in events)
+
+
+class TestUntracedRuns:
+    def untraced(self):
+        def factory(rank):
+            def proc():
+                yield Send(1 - rank, "x", (rank,))
+                yield Recv(1 - rank, "x")
+                return None
+
+            return proc()
+
+        return Simulator(2, FREE).run(factory)
+
+    def test_summary_is_explicit_not_empty(self):
+        summary = trace_summary(self.untraced())
+        assert "no trace" in summary
+        assert "trace=True" in summary
+
+    def test_filter_raises_instead_of_lying(self):
+        # An empty list would be indistinguishable from "this process
+        # never communicated" — the run above did communicate.
+        with pytest.raises(ValueError, match="no trace"):
+            filter_trace(self.untraced(), proc=0)

@@ -1,0 +1,41 @@
+"""Shared fixtures: small traced runs for the observability tests."""
+
+import pytest
+
+from repro.machine import Compute, MachineParams, Recv, Send, Simulator
+
+
+@pytest.fixture
+def pingpong():
+    """Two ranks exchanging one message each, traced, on iPSC/2 costs."""
+
+    def factory(rank):
+        def pinger():
+            yield Compute(50.0)
+            yield Send(1, "ping", (1, 2))
+            yield Recv(1, "pong")
+            return None
+
+        def ponger():
+            yield Recv(0, "ping")
+            yield Compute(30.0)
+            yield Send(0, "pong", (3,))
+            return None
+
+        return pinger() if rank == 0 else ponger()
+
+    return Simulator(2, MachineParams.ipsc2(), trace=True).run(factory)
+
+
+@pytest.fixture
+def untraced():
+    """A compute-only run with tracing off."""
+
+    def factory(rank):
+        def proc():
+            yield Compute(10.0)
+            return None
+
+        return proc()
+
+    return Simulator(2, MachineParams.ipsc2()).run(factory)

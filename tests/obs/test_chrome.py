@@ -1,0 +1,73 @@
+"""Chrome trace-event export and its schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+
+class TestExport:
+    def test_payload_passes_its_own_validator(self, pingpong):
+        validate_chrome_trace(chrome_trace(pingpong))
+
+    def test_slices_cover_every_send_and_recv(self, pingpong):
+        payload = chrome_trace(pingpong)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        comm = [e for e in pingpong.trace if e.kind in ("send", "recv")]
+        assert len(slices) == len(comm)
+
+    def test_flows_pair_up(self, pingpong):
+        payload = chrome_trace(pingpong)
+        starts = [e["id"] for e in payload["traceEvents"] if e["ph"] == "s"]
+        ends = [e["id"] for e in payload["traceEvents"] if e["ph"] == "f"]
+        assert sorted(starts) == sorted(ends)
+        assert len(starts) == pingpong.total_messages
+
+    def test_metadata_names_cpus_and_ranks(self, pingpong):
+        payload = chrome_trace(pingpong, label="pp")
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {"cpu0", "cpu1", "rank0", "rank1"} <= names
+        assert payload["otherData"]["label"] == "pp"
+
+    def test_untraced_run_rejected(self, untraced):
+        with pytest.raises(ValueError, match="trace"):
+            chrome_trace(untraced)
+
+    def test_write_produces_loadable_json(self, pingpong, tmp_path):
+        path = tmp_path / "trace.json"
+        payload = write_chrome_trace(pingpong, str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        validate_chrome_trace(on_disk)
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_non_list_trace_events(self):
+        with pytest.raises(ValueError, match="list"):
+            validate_chrome_trace({"traceEvents": {}})
+
+    def test_rejects_event_missing_required_field(self):
+        with pytest.raises(ValueError, match="missing 'pid'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "tid": 0, "name": "x"}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        event = {"ph": "X", "pid": 0, "tid": 0, "name": "x",
+                 "ts": 1.0, "dur": -2.0}
+        with pytest.raises(ValueError, match="ts/dur"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_orphan_flow_end(self):
+        event = {"ph": "f", "pid": 0, "tid": 0, "name": "msg", "id": 7}
+        with pytest.raises(ValueError, match="without a start"):
+            validate_chrome_trace({"traceEvents": [event]})

@@ -1,0 +1,98 @@
+"""Critical-path extraction: attribution, contiguity, and the paper's
+acceptance bar (≥90% of the Gauss-Seidel makespan explained)."""
+
+import pytest
+
+from repro.machine import Compute, MachineParams, Simulator
+from repro.obs import critical_path, format_critical_path
+from repro.obs.critical_path import KINDS
+
+
+class TestBackChain:
+    def test_coverage_is_total(self, pingpong):
+        cp = critical_path(pingpong)
+        assert cp.coverage == pytest.approx(1.0)
+
+    def test_links_are_contiguous_and_span_the_makespan(self, pingpong):
+        cp = critical_path(pingpong)
+        assert cp.links, "pingpong must yield a non-empty chain"
+        assert cp.links[0].t0 == pytest.approx(0.0)
+        assert cp.links[-1].t1 == pytest.approx(cp.makespan_us)
+        for a, b in zip(cp.links, cp.links[1:]):
+            assert a.t1 == pytest.approx(b.t0)
+
+    def test_attribution_kinds_are_known(self, pingpong):
+        cp = critical_path(pingpong)
+        assert {link.kind for link in cp.links} <= set(KINDS)
+        assert set(cp.totals) <= set(KINDS)
+
+    def test_pingpong_chain_crosses_both_cpus(self, pingpong):
+        # The final recv on rank 0 waits for rank 1's send: the chain
+        # must hop off cpu0, through the wire, and back.
+        cp = critical_path(pingpong)
+        cpus = {link.cpu for link in cp.links}
+        assert {0, 1} <= cpus
+        assert cp.totals["send-startup"] > 0.0
+        assert cp.totals["recv-overhead"] > 0.0
+        assert cp.totals["latency"] > 0.0
+
+    def test_compute_only_run_is_all_compute(self):
+        def factory(rank):
+            def proc():
+                yield Compute(100.0)
+                return None
+
+            return proc()
+
+        result = Simulator(2, MachineParams.ipsc2(), trace=True).run(factory)
+        cp = critical_path(result)
+        assert cp.coverage == pytest.approx(1.0)
+        assert cp.totals["compute"] == pytest.approx(result.makespan_us)
+
+    def test_untraced_run_rejected(self, untraced):
+        with pytest.raises(ValueError, match="trace"):
+            critical_path(untraced)
+
+
+class TestFormat:
+    def test_mentions_coverage_and_kinds(self, pingpong):
+        text = format_critical_path(critical_path(pingpong))
+        assert "critical path:" in text
+        assert "compute" in text
+        assert "send-startup" in text
+
+    def test_truncates_long_chains(self, pingpong):
+        cp = critical_path(pingpong)
+        text = format_critical_path(cp, max_links=1)
+        if len(cp.links) > 1:
+            assert "earlier links" in text
+
+
+class TestGaussSeidelAcceptance:
+    def test_attributes_at_least_90_percent_of_fig6_makespan(self):
+        """ISSUE acceptance: 48x48 wavefront on S=4, ≥90% attributed."""
+        from repro.apps import gauss_seidel as gs
+        from repro.core.compiler import OptLevel, Strategy, compile_program
+        from repro.core.runner import execute
+        from repro.spmd.layout import make_full
+
+        compiled = compile_program(
+            gs.SOURCE,
+            strategy=Strategy.COMPILE_TIME,
+            opt_level=OptLevel.STRIPMINE,
+            entry_shapes={"Old": ("N", "N")},
+            assume_nprocs_min=2,
+        )
+        outcome = execute(
+            compiled,
+            4,
+            inputs={"Old": make_full((48, 48), 1)},
+            params={"N": 48},
+            extra_globals={"blksize": 8},
+            trace=True,
+        )
+        cp = critical_path(outcome.sim)
+        assert cp.coverage >= 0.90
+        # The wavefront is message-bound on iPSC/2 costs: start-up must
+        # be a first-class term, not a rounding error.
+        assert cp.totals["send-startup"] > 0.1 * cp.makespan_us

@@ -1,0 +1,37 @@
+"""src×dst heatmap over MessageStats."""
+
+import pytest
+
+from repro.obs import format_heatmap, heatmap_matrix
+
+
+class TestMatrix:
+    def test_message_counts(self, pingpong):
+        matrix = heatmap_matrix(pingpong.stats, pingpong.nprocs)
+        assert matrix[0][1] == 1  # ping
+        assert matrix[1][0] == 1  # pong
+        assert matrix[0][0] == 0 and matrix[1][1] == 0
+
+    def test_byte_totals(self, pingpong):
+        matrix = heatmap_matrix(pingpong.stats, pingpong.nprocs,
+                                value="bytes")
+        total = sum(sum(row) for row in matrix)
+        assert total == pingpong.stats.total_bytes
+        # ping carried two scalars, pong one: the matrix is asymmetric.
+        assert matrix[0][1] == 2 * matrix[1][0]
+
+    def test_unknown_value_rejected(self, pingpong):
+        with pytest.raises(ValueError, match="heatmap value"):
+            heatmap_matrix(pingpong.stats, pingpong.nprocs, value="joules")
+
+
+class TestFormat:
+    def test_has_header_rows_and_totals(self, pingpong):
+        text = format_heatmap(pingpong.stats, pingpong.nprocs)
+        assert "rows send, columns receive" in text
+        assert "s0" in text and "d1" in text
+        assert "total" in text
+
+    def test_large_rings_truncate(self, pingpong):
+        text = format_heatmap(pingpong.stats, pingpong.nprocs, max_ranks=1)
+        assert "1 more ranks" in text

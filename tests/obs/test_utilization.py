@@ -1,0 +1,47 @@
+"""Per-rank utilization split and the aggregate comm/idle fractions."""
+
+import pytest
+
+from repro.obs import comm_idle_fractions, format_utilization, utilization
+
+
+class TestRankSplit:
+    def test_busy_splits_into_compute_plus_comm(self, pingpong):
+        for u in utilization(pingpong):
+            assert u.compute_us + u.comm_us == pytest.approx(u.busy_us)
+
+    def test_rank_accounts_sum_to_makespan(self, pingpong):
+        horizon = pingpong.makespan_us
+        for u in utilization(pingpong):
+            assert u.busy_us + u.idle_us == pytest.approx(horizon)
+
+    def test_fractions_sum_to_one(self, pingpong):
+        horizon = pingpong.makespan_us
+        for u in utilization(pingpong):
+            fc, fm, fi = u.fractions(horizon)
+            assert fc + fm + fi == pytest.approx(1.0)
+
+    def test_needs_no_trace(self, untraced):
+        # Utilization rides on the always-on accounting: an untraced run
+        # still gets the full split.
+        rows = utilization(untraced)
+        assert len(rows) == untraced.nprocs
+        assert all(u.comm_us == 0.0 for u in rows)
+
+
+class TestAggregate:
+    def test_fractions_bounded(self, pingpong):
+        comm, idle = comm_idle_fractions(pingpong)
+        assert 0.0 <= comm <= 1.0
+        assert 0.0 <= idle <= 1.0
+        assert comm + idle <= 1.0 + 1e-9
+
+    def test_pingpong_has_idle_time(self, pingpong):
+        # Each rank blocks while the other works: idle must be visible.
+        _, idle = comm_idle_fractions(pingpong)
+        assert idle > 0.0
+
+    def test_format_lists_every_rank_and_the_total(self, pingpong):
+        text = format_utilization(pingpong)
+        assert "p0" in text and "p1" in text
+        assert "total: comm" in text

@@ -123,6 +123,35 @@ class TestDifferentialOnStrategies:
             == outcomes["compiled"].value.to_list()
         )
 
+    @pytest.mark.parametrize("strategy", ["runtime", "compile", "optI"])
+    def test_structured_traces_bit_identical(self, strategy):
+        """Fig-6 wavefront: both backends emit identical event streams.
+
+        TraceEvent is a value type, so list equality pins every field of
+        every event — kinds, ranks, channels, payload sizes, timings,
+        wait and queue attributions.
+        """
+        from repro.bench.harness import _compiled as compile_strategy
+        from repro.apps import gauss_seidel as gs
+        from repro.core.runner import execute
+        from repro.spmd.layout import make_full
+
+        compiled = compile_strategy(strategy, gs.SOURCE, 2)
+        traces = {}
+        for backend in ("interp", "compiled"):
+            outcome = execute(
+                compiled,
+                3,
+                inputs={"Old": make_full((12, 12), 1, name="Old")},
+                params={"N": 12},
+                extra_globals={"blksize": 4},
+                trace=True,
+                backend=backend,
+            )
+            traces[backend] = outcome.sim.trace
+        assert traces["interp"], "the wavefront must communicate"
+        assert traces["interp"] == traces["compiled"]
+
     @settings(max_examples=12, deadline=None)
     @given(
         n=hs.integers(min_value=4, max_value=14),
