@@ -10,6 +10,14 @@ Usage::
     python -m repro.bench trace [--app gauss_seidel] [--strategy optIII]
                                 [--n 24] [--nprocs 4] [--trace-out FILE]
     python -m repro.bench speedup [--n 48] [--procs 2,4,8,16]
+    python -m repro.bench tune [--app gauss_seidel] [--n 48] [--procs 4]
+                               [--top-k 3] [--dists ...] [--strategies ...]
+                               [--blksizes 1,2,4,8,16]
+
+The ``tune`` command searches distribution x strategy x blksize for the
+given app: it predicts every candidate with the analytic cost model
+(:mod:`repro.tune.model`), then confirms only the predicted-best
+``--top-k`` on the real simulator and prints the ranked report.
 
 The ``trace`` command runs one traced simulation and renders the full
 observability report — timeline, per-rank utilization, critical path,
@@ -360,6 +368,178 @@ def cmd_trace(args) -> None:
     _print_profile(args)
 
 
+def _tune_app(name: str):
+    """Resolve an app name to (source, entry, oracle) for the tuner."""
+    if name == "gauss_seidel":
+        from repro.apps import gauss_seidel as app
+
+        return app.SOURCE, None, app.reference_rows
+    from repro.apps import jacobi as app
+
+    return app.SOURCE_WRAPPED, "jacobi_step", app.reference_rows
+
+
+def _channel_totals(counts: dict) -> dict:
+    return {f"{k.src}->{k.dst}:{k.channel}": v for k, v in counts.items()}
+
+
+def _candidate_payload(cand) -> dict:
+    out = {
+        "dist": cand.config.dist,
+        "strategy": cand.config.strategy,
+        "nprocs": cand.config.nprocs,
+        "blksize": cand.config.blksize,
+        "label": cand.config.label,
+        "predicted_us": cand.predicted_us,
+        "measured_us": cand.measured_us,
+        "error": cand.error,
+    }
+    if cand.predicted is not None:
+        out["predicted"] = {
+            "makespan_us": cand.predicted.makespan_us,
+            "total_messages": cand.predicted.total_messages,
+            "total_bytes": cand.predicted.total_bytes,
+            "per_channel": _channel_totals(cand.predicted.per_channel),
+            "per_channel_bytes": _channel_totals(
+                cand.predicted.per_channel_bytes
+            ),
+        }
+    if cand.measured is not None:
+        out["measured"] = asdict(cand.measured)
+    return out
+
+
+def cmd_tune(args) -> None:
+    from repro.errors import TuneError
+    from repro.tune import default_space, tune
+
+    source, entry, oracle = _tune_app(args.app)
+    try:
+        space = default_space(
+            _parse_procs(args.procs),
+            dists=tuple(s for s in args.dists.split(",") if s),
+            strategies=tuple(s for s in args.strategies.split(",") if s),
+            blksizes=tuple(_parse_procs(args.blksizes)),
+        )
+    except TuneError as exc:
+        args.parser.error(str(exc))
+    report = tune(
+        source,
+        args.n,
+        entry=entry,
+        space=space,
+        top_k=args.top_k,
+        jobs=args.jobs,
+        backend=args.backend,
+        oracle=oracle,
+    )
+
+    rows = []
+    shown = 0
+    for rank, cand in enumerate(report.candidates, start=1):
+        if shown >= max(args.top_k, 10) and cand.measured is None:
+            continue
+        shown += 1
+        messages = (
+            cand.measured.messages if cand.measured
+            else cand.predicted.total_messages if cand.predicted
+            else ""
+        )
+        rows.append(
+            {
+                "rank": rank,
+                "configuration": cand.config.label,
+                "predicted_ms": (
+                    f"{cand.predicted_us / 1000:.2f}"
+                    if cand.predicted_us is not None else "-"
+                ),
+                "measured_ms": (
+                    f"{cand.measured_us / 1000:.2f}"
+                    if cand.measured_us is not None else "-"
+                ),
+                "messages": messages,
+                "note": cand.error or "",
+            }
+        )
+    hidden = len(report.candidates) - shown
+    title = (
+        f"tune {args.app} (N={args.n}): space={report.space_size} "
+        f"simulations={report.simulations}"
+    )
+    print(
+        format_table(
+            rows,
+            ["rank", "configuration", "predicted_ms", "measured_ms",
+             "messages", "note"],
+            title,
+        )
+    )
+    if hidden > 0:
+        print(f"... and {hidden} more candidates (see --json for all)")
+    rho = report.spearman
+    if report.best is not None:
+        print(
+            f"best: {report.best.config.label} -> "
+            f"{report.best.measured_us / 1000:.2f} ms"
+            + (f"  (spearman={rho:.2f} over confirmed)"
+               if rho is not None else "")
+        )
+    else:
+        print("best: no configuration could be confirmed")
+    _print_profile(args)
+    if args.json:
+        payload = {
+            "command": "tune",
+            "app": args.app,
+            "n": args.n,
+            "backend": args.backend,
+            "space_size": report.space_size,
+            "simulations": report.simulations,
+            "spearman": rho,
+            "best": (
+                _candidate_payload(report.best)
+                if report.best is not None else None
+            ),
+            "candidates": [
+                _candidate_payload(c) for c in report.candidates
+            ],
+        }
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
+
+
+def _validate_args(args) -> None:
+    """Reject nonsense numeric arguments with a one-line parser error
+    (exit code 2) instead of a traceback from deep inside the harness."""
+    err = args.parser.error
+    if args.n < 1:
+        err(f"--n must be a positive grid size, got {args.n}")
+    if args.nprocs < 1:
+        err(f"--nprocs must be a positive ring size, got {args.nprocs}")
+    if args.blksize < 1:
+        err(f"--blksize must be a positive block size, got {args.blksize}")
+    for opt in ("procs", "blksizes"):
+        text = getattr(args, opt, None)
+        if text is None:
+            continue
+        try:
+            values = _parse_procs(text)
+        except ValueError:
+            err(
+                f"--{opt} must be a comma-separated list of integers, "
+                f"got {text!r}"
+            )
+        if not values:
+            err(f"--{opt} must name at least one value")
+        if any(v < 1 for v in values):
+            err(f"--{opt} entries must be positive, got {text!r}")
+    if getattr(args, "jobs", 1) < 1:
+        err(f"--jobs must be positive, got {args.jobs}")
+    if getattr(args, "top_k", 1) < 1:
+        err(f"--top-k must be positive, got {args.top_k}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -375,9 +555,10 @@ def main(argv: list[str] | None = None) -> int:
         ("timeline", cmd_timeline),
         ("trace", cmd_trace),
         ("speedup", cmd_speedup),
+        ("tune", cmd_tune),
     ):
         cmd = sub.add_parser(name)
-        cmd.set_defaults(fn=fn)
+        cmd.set_defaults(fn=fn, parser=cmd)
         cmd.add_argument("--n", type=int, default=48)
         cmd.add_argument("--procs", type=str, default="2,4,8,16")
         cmd.add_argument("--nprocs", type=int, default=8)
@@ -390,7 +571,7 @@ def main(argv: list[str] | None = None) -> int:
             help="print compiler/runtime counters and phase timers "
                  "(and embed them in --json dumps)",
         )
-        if name in ("fig6", "fig7", "speedup"):
+        if name in ("fig6", "fig7", "speedup", "tune"):
             cmd.add_argument(
                 "--json", type=str, default=None, metavar="PATH",
                 help="also dump the measurement points as JSON "
@@ -417,8 +598,38 @@ def main(argv: list[str] | None = None) -> int:
                 "--trace-out", type=str, default=None, metavar="FILE",
                 help="also export Chrome trace-event JSON (Perfetto)",
             )
+        if name == "tune":
+            from repro.tune.space import DEFAULT_DISTS, STRATEGIES
+
+            cmd.set_defaults(procs="4")
+            cmd.add_argument(
+                "--app",
+                choices=["gauss_seidel", "jacobi"],
+                default="gauss_seidel",
+            )
+            cmd.add_argument(
+                "--top-k", type=int, default=3, metavar="K",
+                help="confirm the K predicted-best candidates "
+                     "on the real simulator",
+            )
+            cmd.add_argument(
+                "--dists", type=str,
+                default=",".join(DEFAULT_DISTS), metavar="D1,D2,...",
+                help="distributions to search",
+            )
+            cmd.add_argument(
+                "--strategies", type=str,
+                default=",".join(STRATEGIES), metavar="S1,S2,...",
+                help="resolution strategies to search",
+            )
+            cmd.add_argument(
+                "--blksizes", type=str, default="1,2,4,8,16",
+                metavar="B1,B2,...",
+                help="strip-mining block sizes to search (Optimized III)",
+            )
 
     args = parser.parse_args(argv)
+    _validate_args(args)
     args.fn(args)
     return 0
 

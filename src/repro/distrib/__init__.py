@@ -21,6 +21,7 @@ from repro.distrib.builtin import (
     BlockCols,
     BlockGrid,
     BlockCyclicCols,
+    BlockCyclicRows,
     BlockRows,
     BlockVector,
     WrappedCols,
@@ -34,6 +35,7 @@ __all__ = [
     "DISTRIBUTIONS",
     "BlockCols",
     "BlockCyclicCols",
+    "BlockCyclicRows",
     "BlockGrid",
     "BlockRows",
     "BlockVector",

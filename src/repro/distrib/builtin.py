@@ -133,6 +133,42 @@ class BlockCyclicCols(Distribution):
         return f"block_cyclic_cols({self.block})"
 
 
+class BlockCyclicRows(Distribution):
+    """Row blocks of a fixed height ``b``, dealt cyclically.
+
+    The row-axis twin of :class:`BlockCyclicCols`, completing the axis
+    symmetry of the builtin registry (cyclic/block existed for both axes,
+    block-cyclic only for columns)."""
+
+    name = "block_cyclic_rows"
+    rank = 2
+
+    def __init__(self, block: int):
+        if block < 1:
+            raise MappingError(f"block height must be positive, got {block}")
+        self.block = block
+
+    def owner_expr(self, indices, nprocs, shape):
+        i, j = indices
+        return ((i - 1) // Const(self.block)) % nprocs
+
+    def local_expr(self, indices, nprocs, shape):
+        i, j = indices
+        b = Const(self.block)
+        local_row = ((i - 1) // (b * nprocs)) * b + (i - 1) % b + 1
+        return (local_row, j)
+
+    def alloc_shape_expr(self, shape, nprocs):
+        n1, n2 = shape
+        b = Const(self.block)
+        # Blocks dealt to one processor: ceil(nblocks / S) of height b.
+        nblocks = ceil_div(n1, b)
+        return (ceil_div(nblocks, nprocs) * b, n2)
+
+    def __str__(self) -> str:
+        return f"block_cyclic_rows({self.block})"
+
+
 class WrappedVector(Distribution):
     """Cyclic elements of a vector: element ``i`` on ``(i-1) mod S``."""
 
@@ -226,6 +262,7 @@ DISTRIBUTIONS: dict[str, type] = {
     "block_cols": BlockCols,
     "block_rows": BlockRows,
     "block_cyclic_cols": BlockCyclicCols,
+    "block_cyclic_rows": BlockCyclicRows,
     "block_grid": BlockGrid,
     "wrapped": WrappedVector,
     "block": BlockVector,

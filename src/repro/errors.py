@@ -108,3 +108,16 @@ class NodeRuntimeError(SimulationError):
 
 class SolverError(ReproError):
     """The symbolic solver cannot make progress (inconclusive analysis)."""
+
+
+class ModelError(ReproError):
+    """The analytic cost model cannot predict this program.
+
+    Raised when control flow (a branch, loop bound, or communication
+    partner) depends on array *data* rather than index arithmetic — the
+    one thing the tuner's symbolic walk cannot resolve without running
+    the program."""
+
+
+class TuneError(ReproError):
+    """The auto-decomposition search was given an unusable configuration."""

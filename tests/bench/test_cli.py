@@ -117,7 +117,76 @@ class TestTraceCommand:
         assert outs["compiled"] == outs["interp"]
 
 
-class TestJobsFlag:
+class TestTuneCommand:
+    ARGS = ["tune", "--n", "10", "--procs", "2,4",
+            "--dists", "wrapped_cols,block_cols",
+            "--strategies", "compile,optIII", "--blksizes", "2,4"]
+
+    def test_prints_ranked_report(self, capsys):
+        out = run_cli(capsys, *self.ARGS)
+        assert "tune gauss_seidel (N=10)" in out
+        assert "simulations=" in out
+        assert "best:" in out
+        # Pruning: the searched space is larger than the simulated set.
+        assert "space=12" in out
+
+    def test_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_tune.json"
+        run_cli(capsys, *self.ARGS, "--json", str(path))
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "tune"
+        assert payload["space_size"] == 12
+        assert payload["simulations"] <= 3
+        assert len(payload["candidates"]) == 12
+        best = payload["best"]
+        assert best is not None
+        assert best["measured_us"] == best["predicted_us"]
+        assert best["measured"]["messages"] == sum(
+            best["predicted"]["per_channel"].values()
+        )
+        ranked = [
+            c["predicted_us"] for c in payload["candidates"]
+            if c["error"] is None
+        ]
+        assert ranked == sorted(ranked)
+
+    def test_jacobi_app(self, capsys):
+        out = run_cli(capsys, "tune", "--app", "jacobi", "--n", "8",
+                      "--procs", "2", "--dists", "wrapped_cols",
+                      "--strategies", "compile,optII", "--top-k", "1")
+        assert "tune jacobi" in out
+        # optII genuinely deadlocks on jacobi: reported, not crashed.
+        assert "DeadlockError" in out or "ModelError" in out
+
+
+class TestArgValidation:
+    """Nonsense numeric arguments exit with code 2 and a one-line
+    parser error, never a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["fig6", "--n", "0"], "--n must be a positive"),
+            (["fig6", "--nprocs", "-3"], "--nprocs must be a positive"),
+            (["blocksize", "--blksize", "0"], "--blksize must be a positive"),
+            (["fig7", "--procs", "0,2"], "--procs entries must be positive"),
+            (["fig7", "--procs", ""], "--procs must name at least one"),
+            (["fig6", "--procs", "a,b"], "comma-separated list of integers"),
+            (["fig6", "--jobs", "0"], "--jobs must be positive"),
+            (["tune", "--blksize", "0"], "--blksize must be a positive"),
+            (["tune", "--top-k", "0"], "--top-k must be positive"),
+            (["tune", "--blksizes", "4,-1"], "--blksizes entries"),
+            (["tune", "--strategies", "optIX"], "unknown strategy"),
+            (["tune", "--dists", "bogus"], "unknown distribution"),
+        ],
+    )
+    def test_rejected_with_exit_code_2(self, capsys, argv, message):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert message in err
+        assert "Traceback" not in err
     def test_parallel_sweep_matches_serial(self, tmp_path, capsys):
         paths = {}
         for jobs in ("1", "2"):

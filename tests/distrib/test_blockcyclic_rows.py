@@ -1,0 +1,116 @@
+"""Tests for the block-cyclic rows distribution (row twin of
+block_cyclic_cols)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compiler import Strategy, compile_program
+from repro.core.runner import execute
+from repro.errors import MappingError
+from repro.distrib import BlockCyclicRows
+from repro.machine import MachineParams
+from repro.spmd.layout import make_full
+
+FREE = MachineParams.free_messages()
+
+
+class TestMapping:
+    def test_blocks_of_two_dealt_round_robin(self):
+        d = BlockCyclicRows(2)
+        owners = [d.owner((i, 1), 2, (8, 8)) for i in range(1, 9)]
+        assert owners == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_block_one_degenerates_to_wrapped_rows(self):
+        from repro.distrib import WrappedRows
+
+        cyclic = BlockCyclicRows(1)
+        wrapped = WrappedRows()
+        for i in range(1, 9):
+            assert (
+                cyclic.owner((i, 1), 4, (8, 8))
+                == wrapped.owner((i, 1), 4, (8, 8))
+            )
+
+    def test_huge_block_degenerates_to_block_rows(self):
+        from repro.distrib import BlockRows
+
+        cyclic = BlockCyclicRows(2)
+        block = BlockRows()
+        # With block == ceil(N1/S) the deal is a single round, i.e.
+        # contiguous row blocks.
+        for i in range(1, 9):
+            assert (
+                cyclic.owner((i, 1), 4, (8, 8))
+                == block.owner((i, 1), 4, (8, 8))
+            )
+
+    def test_bad_block(self):
+        with pytest.raises(MappingError, match="positive"):
+            BlockCyclicRows(0)
+
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 6),
+        block=st.integers(1, 5),
+        nprocs=st.integers(1, 6),
+    )
+    def test_owner_local_injective(self, rows, cols, block, nprocs):
+        d = BlockCyclicRows(block)
+        seen = {}
+        alloc = d.alloc_shape((rows, cols), nprocs)
+        for i in range(1, rows + 1):
+            for j in range(1, cols + 1):
+                owner = d.owner((i, j), nprocs, (rows, cols))
+                local = d.local((i, j), nprocs, (rows, cols))
+                assert 0 <= owner < nprocs
+                assert all(1 <= l <= a for l, a in zip(local, alloc))
+                key = (owner, local)
+                assert key not in seen
+                seen[key] = (i, j)
+
+
+class TestCompilation:
+    SOURCE = """
+    param N;
+    const c = 1;
+    map Old by block_cyclic_rows(2);
+    map New by block_cyclic_rows(2);
+    procedure step(Old: matrix) returns matrix {
+        let New = matrix(N, N);
+        call edges(Old, New);
+        for j = 2 to N - 1 {
+            for i = 2 to N - 1 {
+                New[i, j] = c * (Old[i - 1, j] + Old[i, j - 1]
+                                 + Old[i + 1, j] + Old[i, j + 1]);
+            }
+        }
+        return New;
+    }
+    procedure edges(Old: matrix, New: matrix) {
+        for i = 1 to N { New[i, 1] = Old[i, 1]; New[i, N] = Old[i, N]; }
+        for j = 2 to N - 1 { New[1, j] = Old[1, j]; New[N, j] = Old[N, j]; }
+    }
+    """
+
+    def _expected(self, n):
+        from repro.apps.jacobi import reference_rows
+
+        old = [[(i + 1) * 5 + (j + 1) for j in range(n)] for i in range(n)]
+        return reference_rows(n, old)
+
+    @pytest.mark.parametrize("strategy", [Strategy.RUNTIME, Strategy.COMPILE_TIME])
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_jacobi_on_block_cyclic_rows(self, strategy, nprocs):
+        compiled = compile_program(
+            self.SOURCE,
+            strategy=strategy,
+            entry="step",
+            entry_shapes={"Old": ("N", "N")},
+        )
+        n = 8
+        old = make_full((n, n), lambda i, j: i * 5 + j, name="Old")
+        out = execute(
+            compiled, nprocs, inputs={"Old": old}, params={"N": n}, machine=FREE
+        )
+        assert out.value.to_nested() == self._expected(n)
