@@ -1,0 +1,24 @@
+"""Static communication-safety verifier.
+
+Proves send/recv matching, deadlock-freedom, I-structure
+single-assignment, and guard coverage over compiled SPMD IR — without
+running the simulator. See ``docs/INTERNALS.md`` §12.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.verify import verify_compiled
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "render_json",
+    "render_text",
+    "verify_compiled",
+]

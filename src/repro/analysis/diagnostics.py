@@ -1,0 +1,222 @@
+"""Diagnostics framework for the static communication-safety verifier.
+
+A :class:`Diagnostic` is one finding: a stable code (``DL001``), a
+severity, the analysis pass that produced it, an optional rank and
+loop/guard path locating it in the per-rank walk, and a free-form
+``details`` mapping for forensics (wait-for chains, conflicting write
+origins, ...). Passes register themselves in :data:`PASSES` via
+:func:`register_pass`; the driver (:mod:`repro.analysis.verify`) runs
+every registered pass over one :class:`~repro.analysis.verify.
+VerifyContext` and collects the findings into a :class:`Report`.
+
+Codes are stable API: tests, CI gates, and downstream tools key on
+them. Renumbering an existing code is a breaking change.
+
+==========  ================  =============================================
+code        pass              meaning
+==========  ================  =============================================
+``CB001``   channel-balance   more sends than receives on a channel
+``CB002``   channel-balance   more receives than sends on a channel
+``DL001``   deadlock          cyclic wait: ranks block on each other
+``DL002``   deadlock          rank waits on a message never sent
+``IS001``   single-assignment I-structure element written more than once
+``IS002``   single-assignment read of an element no rank ever writes
+``IS003``   single-assignment index provably outside the allocated shape
+``IS004``   single-assignment index not static; tracking abandoned (warn)
+``GC001``   guard-coverage    send/recv partner out of range under a rank
+``GC002``   guard-coverage    self-communication under a rank assignment
+``GC003``   guard-coverage    partner provably invalid for *every* rank
+``UNV001``  (driver)          walk incomplete: data-dependent control
+``UNV002``  (driver)          walk aborted by a structural runtime error
+==========  ================  =============================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered so ``max`` over findings yields the worst one."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding."""
+
+    code: str
+    severity: Severity
+    pass_name: str
+    message: str
+    rank: int | None = None
+    path: tuple[str, ...] = ()  # enclosing loops/guards, outermost first
+    details: dict = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.path:
+            parts.append(" > ".join(self.path))
+        return " @ ".join(parts)
+
+    def format(self) -> str:
+        where = self.location
+        loc = f"  [{where}]" if where else ""
+        return f"{self.severity}: {self.code} ({self.pass_name}): " \
+               f"{self.message}{loc}"
+
+
+@dataclass
+class Report:
+    """All findings from one verification run, plus run metadata."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        pass_name: str,
+        message: str,
+        rank: int | None = None,
+        path: tuple[str, ...] = (),
+        **details,
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            severity=severity,
+            pass_name=pass_name,
+            message=message,
+            rank=rank,
+            path=tuple(path),
+            details=details,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        counts: dict[str, int] = {}
+        for d in self.diagnostics:
+            counts[str(d.severity)] = counts.get(str(d.severity), 0) + 1
+        parts = ", ".join(
+            f"{counts[s]} {s}(s)"
+            for s in ("error", "warning", "info")
+            if s in counts
+        )
+        codes = sorted({d.code for d in self.diagnostics})
+        return f"{parts} [{', '.join(codes)}]"
+
+
+# ---------------------------------------------------------------------------
+# Pass registry
+# ---------------------------------------------------------------------------
+
+# name -> callable(ctx: VerifyContext, report: Report) -> None
+PASSES: dict[str, object] = {}
+
+
+def register_pass(name: str):
+    """Register an analysis pass under a stable name.
+
+    Passes run in registration order; each receives the shared
+    :class:`~repro.analysis.verify.VerifyContext` and appends findings
+    to the :class:`Report`."""
+
+    def wrap(fn):
+        if name in PASSES:
+            raise ValueError(f"analysis pass {name!r} already registered")
+        PASSES[name] = fn
+        fn.pass_name = name
+        return fn
+
+    return wrap
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+_SEV_ORDER = (Severity.ERROR, Severity.WARNING, Severity.INFO)
+
+
+def render_text(report: Report, title: str = "verify") -> str:
+    """Human-readable report: worst findings first, stable within."""
+    lines = [f"-- {title} --"]
+    for meta_key in ("app", "dist", "strategy", "nprocs", "n"):
+        if meta_key in report.metadata:
+            lines.append(f"{meta_key}: {report.metadata[meta_key]}")
+    ordered = sorted(
+        report.diagnostics,
+        key=lambda d: (_SEV_ORDER.index(d.severity), d.code),
+    )
+    for diag in ordered:
+        lines.append(diag.format())
+        chain = diag.details.get("chain")
+        if chain:
+            for link in chain:
+                lines.append(f"    {link}")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: Report, **extra) -> dict:
+    """JSON-safe payload (everything stringified where needed)."""
+    payload = {
+        **extra,
+        "metadata": _jsonable(report.metadata),
+        "summary": report.summary(),
+        "error_count": len(report.errors),
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": str(d.severity),
+                "pass": d.pass_name,
+                "message": d.message,
+                "rank": d.rank,
+                "path": list(d.path),
+                "details": _jsonable(d.details),
+            }
+            for d in report.diagnostics
+        ],
+    }
+    # Round-trip through the encoder so callers can rely on dumpability.
+    json.dumps(payload)
+    return payload
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,161 @@
+"""Driver: walk every rank, then run the registered analysis passes.
+
+:func:`verify_compiled` is the package entry point. It mirrors
+:func:`repro.tune.model.predict`'s argument conventions (``params``,
+``machine``, ``extra_globals``, ``inputs``) so callers can verify
+exactly the configuration they would execute — but instead of a cost it
+returns a :class:`~repro.analysis.diagnostics.Report`.
+
+Per rank the driver runs a :class:`~repro.analysis.walk.VerifyWalk`.
+A walk that cannot finish does not kill verification: data-dependent
+control (``ModelError``) yields an ``UNV001`` *warning* — the program
+may well be fine, the verifier just cannot tell — while a structural
+runtime error (``NodeRuntimeError``: unknown procedure, bad arity,
+non-positive step) yields an ``UNV002`` *error*, because the simulator
+would die on the same statement. Passes that need every rank's skeleton
+(channel balance, deadlock) stay silent when any rank aborted rather
+than reason from incomplete evidence.
+"""
+
+from __future__ import annotations
+
+from repro import perf
+from repro.analysis import passes as _passes  # noqa: F401  (registers)
+from repro.analysis.diagnostics import PASSES, Report, Severity
+from repro.analysis.walk import DEFINED, NotAffine, VerifyWalk
+from repro.errors import CompileError, ModelError, NodeRuntimeError
+from repro.machine import MachineParams
+from repro.spmd import ir
+from repro.tune.model import UNKNOWN, _Analysis
+
+_PER_CODE_CAP = 10  # identical-shape findings kept per (code, rank)
+
+# Verification is deterministic in (program, ring, bindings), so reports
+# are memoized exactly like the cost model's predictions — the tuner
+# re-verifies the same compiled program once per candidate ring size.
+_verify_cache: dict = perf.register_cache("verify", {})
+
+
+class VerifyContext:
+    """Everything the passes share about one verification run."""
+
+    __slots__ = (
+        "program", "nprocs", "globals", "walkers", "events", "origins",
+        "aborted",
+    )
+
+    def __init__(self, program: ir.NodeProgram, nprocs: int, globals_):
+        self.program = program
+        self.nprocs = nprocs
+        self.globals = dict(globals_)
+        self.walkers: list[VerifyWalk | None] = []
+        self.events: list[list[tuple]] = []
+        self.origins: list[list[tuple]] = []
+        self.aborted: dict[int, str] = {}  # rank -> diagnostic code
+
+
+def verify_compiled(
+    compiled,
+    nprocs: int,
+    params: dict[str, int] | None = None,
+    machine: MachineParams | None = None,
+    extra_globals: dict[str, object] | None = None,
+    inputs: dict[str, object] | None = None,
+    metadata: dict | None = None,
+) -> Report:
+    """Statically verify ``compiled`` (a ``CompiledProgram`` or a bare
+    :class:`~repro.spmd.ir.NodeProgram`) on ``nprocs`` processors."""
+    program = getattr(compiled, "program", compiled)
+    params = dict(params or {})
+    param_names = getattr(compiled, "param_names", ())
+    missing = [name for name in param_names if name not in params]
+    if missing:
+        raise CompileError(f"missing values for params {missing}")
+    machine = machine or MachineParams.ipsc2()
+    globals_: dict[str, object] = dict(params)
+    globals_.update(extra_globals or {})
+    inputs = dict(inputs or {})
+
+    report = Report()
+    report.metadata.update(metadata or {})
+    report.metadata.setdefault("nprocs", nprocs)
+
+    key = None
+    if perf.caches_enabled():
+        try:
+            key = (
+                program,  # identity-hashed
+                nprocs,
+                machine,
+                tuple(sorted(globals_.items())),
+                tuple(sorted(inputs.items())),
+            )
+            cached = _verify_cache.get(key)
+        except TypeError:  # unhashable globals/inputs: skip memoization
+            key, cached = None, None
+        if cached is not None:
+            perf.hit("verify")
+            report.diagnostics.extend(cached)
+            return report
+        if key is not None:
+            perf.miss("verify")
+
+    ctx = VerifyContext(program, nprocs, globals_)
+
+    analysis = _Analysis(program)
+    entry_proc = program.entry_proc()
+    for rank in range(nprocs):
+        walker = VerifyWalk(
+            program, rank, nprocs, machine, globals_, analysis
+        )
+        args: list[object] = []
+        for pname in entry_proc.params:
+            if pname in entry_proc.array_params:
+                args.append(DEFINED)
+            else:
+                args.append(inputs.get(pname, UNKNOWN))
+        try:
+            walker.run(args)
+        except (ModelError, NotAffine) as err:
+            ctx.aborted[rank] = "UNV001"
+            report.add(
+                "UNV001", Severity.WARNING, "driver",
+                f"rank {rank}: walk incomplete ({err}); balance and "
+                "deadlock verdicts are unavailable",
+                rank=rank, path=tuple(walker.path),
+            )
+        except NodeRuntimeError as err:
+            ctx.aborted[rank] = "UNV002"
+            report.add(
+                "UNV002", Severity.ERROR, "driver",
+                f"rank {rank}: walk aborted by a structural runtime "
+                f"error: {err}",
+                rank=rank, path=tuple(walker.path),
+            )
+        ctx.walkers.append(walker)
+        ctx.events.append(walker.events)
+        ctx.origins.append(walker.origins)
+        _add_capped(report, walker.findings)
+
+    for pass_fn in PASSES.values():
+        pass_fn(ctx, report)
+    if key is not None:
+        # Diagnostics are frozen dataclasses, safe to share between
+        # reports; metadata stays per-call and is never cached.
+        _verify_cache[key] = tuple(report.diagnostics)
+    return report
+
+
+def _add_capped(report: Report, findings) -> None:
+    """Copy walk findings, capping repeats of one code on one rank.
+
+    A bad site inside an ``N``-trip loop fires once per iteration; the
+    first few carry all the forensic value."""
+    counts: dict[tuple, int] = {}
+    for diag in findings:
+        key = (diag.code, diag.rank)
+        seen = counts.get(key, 0)
+        if seen >= _PER_CODE_CAP:
+            continue
+        counts[key] = seen + 1
+        report.diagnostics.append(diag)

@@ -13,6 +13,13 @@ Usage::
     python -m repro.bench tune [--app gauss_seidel] [--n 48] [--procs 4]
                                [--top-k 3] [--dists ...] [--strategies ...]
                                [--blksizes 1,2,4,8,16]
+    python -m repro.bench verify [--app gauss_seidel] [--dist wrapped_cols]
+                                 [--strategy optIII] [--n 48] [--nprocs 8]
+                                 [--json PATH]
+
+The ``verify`` command runs the static communication-safety verifier
+(:mod:`repro.analysis`) on one configuration without simulating it, and
+exits 0 when clean, 1 when any diagnostic is found, 2 on usage errors.
 
 The ``tune`` command searches distribution x strategy x blksize for the
 given app: it predicts every candidate with the analytic cost model
@@ -509,6 +516,72 @@ def cmd_tune(args) -> None:
         _dump_json(payload, args.json)
 
 
+def cmd_verify(args) -> int:
+    """Statically verify one app/dist/strategy/S configuration.
+
+    Exit codes: 0 when the verifier reports nothing, 1 when it finds
+    any diagnostic (or the configuration fails to compile), 2 for usage
+    errors (argparse). CI keys on these.
+    """
+    from repro.analysis import render_json, render_text, verify_compiled
+    from repro.core.compiler import compile_program_cached
+    from repro.errors import ReproError, TuneError
+    from repro.tune.space import STRATEGIES, parse_dist, retarget_source
+
+    try:
+        parse_dist(args.dist)
+    except TuneError as exc:
+        args.parser.error(str(exc))
+    strategy, opt_level = STRATEGIES[args.strategy]
+    common = dict(
+        strategy=strategy,
+        opt_level=opt_level,
+        assume_nprocs_min=2 if args.nprocs >= 2 else 1,
+    )
+    if args.app == "gauss_seidel":
+        from repro.apps import gauss_seidel as app
+
+        source, extra = app.SOURCE, dict(entry_shapes={"Old": ("N", "N")})
+    elif args.app == "jacobi":
+        from repro.apps import jacobi as app
+
+        source = app.SOURCE_WRAPPED
+        extra = dict(entry="jacobi_step", entry_shapes={"Old": ("N", "N")})
+    else:
+        from repro.apps import triangular as app
+
+        source, extra = app.SOURCE, {}
+    label = f"{args.app} {args.dist} {args.strategy} S={args.nprocs}"
+    try:
+        compiled = compile_program_cached(
+            retarget_source(source, args.dist), **common, **extra
+        )
+    except ReproError as exc:
+        print(f"verify: {label}: {type(exc).__name__}: {exc}")
+        return 1
+    report = verify_compiled(
+        compiled,
+        args.nprocs,
+        params={"N": args.n},
+        extra_globals={"blksize": args.blksize},
+        metadata={
+            "app": args.app, "dist": args.dist, "strategy": args.strategy,
+            "nprocs": args.nprocs, "n": args.n,
+        },
+    )
+    print(render_text(report, title=f"verify {label}"))
+    _print_profile(args)
+    if args.json:
+        payload = render_json(
+            report, command="verify", app=args.app, dist=args.dist,
+            strategy=args.strategy, nprocs=args.nprocs, n=args.n,
+        )
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
+    return 1 if report.diagnostics else 0
+
+
 def _validate_args(args) -> None:
     """Reject nonsense numeric arguments with a one-line parser error
     (exit code 2) instead of a traceback from deep inside the harness."""
@@ -556,6 +629,7 @@ def main(argv: list[str] | None = None) -> int:
         ("trace", cmd_trace),
         ("speedup", cmd_speedup),
         ("tune", cmd_tune),
+        ("verify", cmd_verify),
     ):
         cmd = sub.add_parser(name)
         cmd.set_defaults(fn=fn, parser=cmd)
@@ -571,7 +645,7 @@ def main(argv: list[str] | None = None) -> int:
             help="print compiler/runtime counters and phase timers "
                  "(and embed them in --json dumps)",
         )
-        if name in ("fig6", "fig7", "speedup", "tune"):
+        if name in ("fig6", "fig7", "speedup", "tune", "verify"):
             cmd.add_argument(
                 "--json", type=str, default=None, metavar="PATH",
                 help="also dump the measurement points as JSON "
@@ -582,11 +656,23 @@ def main(argv: list[str] | None = None) -> int:
                 help="measure up to N strategy series in parallel "
                      "worker processes",
             )
-        if name in ("timeline", "trace"):
+        if name in ("timeline", "trace", "verify"):
             cmd.add_argument(
                 "--strategy",
                 choices=["runtime", "compile", "optI", "optII", "optIII"],
                 default="optIII",
+            )
+        if name == "verify":
+            cmd.add_argument(
+                "--app",
+                choices=["gauss_seidel", "jacobi", "triangular"],
+                default="gauss_seidel",
+            )
+            cmd.add_argument(
+                "--dist", type=str, default="wrapped_cols",
+                metavar="DIST",
+                help="distribution to verify under "
+                     "(e.g. wrapped_cols, block_rows, block_cyclic_cols:4)",
             )
         if name == "trace":
             cmd.add_argument(
@@ -630,8 +716,7 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     _validate_args(args)
-    args.fn(args)
-    return 0
+    return args.fn(args) or 0
 
 
 if __name__ == "__main__":

@@ -55,6 +55,9 @@ def compile_program(
     opt_level: OptLevel = OptLevel.NONE,
     entry_shapes: dict[str, tuple] | None = None,
     assume_nprocs_min: int = 1,
+    verify: bool = False,
+    verify_nprocs: tuple[int, ...] = (2,),
+    verify_params: dict[str, int] | None = None,
 ) -> CompiledProgram:
     """Compile a program under a domain decomposition.
 
@@ -63,12 +66,47 @@ def compile_program(
     ``assume_nprocs_min`` lets compile-time resolution fold guards that
     would otherwise need a run-time test for degenerate ring sizes
     (e.g. 2 promises S >= 2, so neighbouring columns are always remote).
+
+    ``verify=True`` runs the static communication-safety verifier
+    (:func:`repro.analysis.verify_compiled`) on the compiled program for
+    each ring size in ``verify_nprocs`` and raises
+    :class:`repro.errors.VerifyError` (carrying the full report) if any
+    severity-error diagnostic is found. ``verify_params`` must bind every
+    ``param`` the program declares (e.g. ``{"N": 16}``); extra keys such
+    as ``blksize`` become run-time globals for the verification walk.
     """
     with perf.phase("compile"):
-        return _compile_program(
+        compiled = _compile_program(
             source, spec, entry, strategy, opt_level, entry_shapes,
             assume_nprocs_min,
         )
+    if verify:
+        from repro.analysis import verify_compiled
+        from repro.errors import VerifyError
+
+        values = dict(verify_params or {})
+        params = {
+            k: v for k, v in values.items() if k in compiled.param_names
+        }
+        extra = {
+            k: v for k, v in values.items()
+            if k not in compiled.param_names
+        }
+        with perf.phase("verify"):
+            for nprocs in verify_nprocs:
+                report = verify_compiled(
+                    compiled, nprocs, params=params, extra_globals=extra,
+                    metadata={"entry": compiled.entry, "nprocs": nprocs},
+                )
+                if report.has_errors:
+                    first = report.errors[0]
+                    raise VerifyError(
+                        f"static verification failed at nprocs={nprocs}: "
+                        f"{first.code} {first.message} "
+                        f"({len(report.errors)} error(s) total)",
+                        report=report,
+                    )
+    return compiled
 
 
 def compile_program_cached(

@@ -121,3 +121,15 @@ class ModelError(ReproError):
 
 class TuneError(ReproError):
     """The auto-decomposition search was given an unusable configuration."""
+
+
+class VerifyError(ReproError):
+    """The static verifier found severity-error diagnostics.
+
+    Raised by ``compile_program(..., verify=True)``; ``report`` holds
+    the full :class:`repro.analysis.diagnostics.Report` so callers can
+    render or inspect the individual findings."""
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)

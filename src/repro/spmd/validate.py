@@ -66,6 +66,11 @@ def _validate_stmt(
     elif isinstance(stmt, ir.NFor):
         if not stmt.var:
             raise IRError(where + "loop with empty variable name")
+        if stmt.var in loop_vars:
+            raise IRError(
+                where + f"loop variable {stmt.var!r} shadows an enclosing "
+                "loop variable"
+            )
         if isinstance(stmt.step, ir.NConst) and stmt.step.value <= 0:
             raise IRError(where + f"loop step {stmt.step.value} is not positive")
         _validate_body(stmt.body, proc, program, loop_vars | {stmt.var})
@@ -84,6 +89,16 @@ def _validate_stmt(
     elif isinstance(stmt, (ir.NCoerce, ir.NBroadcast)):
         if not stmt.channel:
             raise IRError(where + "coerce/broadcast with empty channel name")
+        if not isinstance(stmt.target, (ir.VarLV, ir.IsLV, ir.BufLV)):
+            raise IRError(
+                where + f"coerce/broadcast target {stmt.target!r} is not "
+                "an lvalue"
+            )
+        if isinstance(stmt.target, ir.VarLV) and stmt.target.name in loop_vars:
+            raise IRError(
+                where + "coerce/broadcast stores into loop variable "
+                f"{stmt.target.name!r}"
+            )
     elif isinstance(stmt, ir.NCallProc):
         callee = program.procs.get(stmt.proc)
         if callee is None:
@@ -92,6 +107,16 @@ def _validate_stmt(
             raise IRError(
                 where + f"call to {stmt.proc} with {len(stmt.args)} args, "
                 f"expected {len(callee.params)}"
+            )
+        if stmt.result is not None and stmt.array_result is not None:
+            raise IRError(
+                where + f"call to {stmt.proc} binds both a scalar and an "
+                "array result"
+            )
+        if isinstance(stmt.result, ir.VarLV) and stmt.result.name in loop_vars:
+            raise IRError(
+                where + f"call to {stmt.proc} stores its result into loop "
+                f"variable {stmt.result.name!r}"
             )
         for arg, pname in zip(stmt.args, callee.params):
             is_array_param = pname in callee.array_params

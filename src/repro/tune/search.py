@@ -4,11 +4,15 @@ The predictor walk is orders of magnitude cheaper than compiling *and*
 simulating every candidate, and (by :mod:`repro.tune.model`'s design)
 exact on message counts and near-exact on makespan — so the search
 simulates only the ``top_k`` predicted-best configurations and returns
-both numbers for each. Candidates the predictor flags as infeasible
-(data-dependent control, predicted deadlock, compile failures such as
-``block_grid``'s inconclusive fallback) are kept in the report with
-their error string: the tuner's job includes telling the user what it
-could not evaluate and why.
+both numbers for each. Infeasible candidates are pruned *statically*:
+each compiled configuration first runs through the communication-safety
+verifier (:mod:`repro.analysis`), and one that provably deadlocks,
+unbalances a channel, or double-writes an I-structure is excluded with
+the verifier's diagnostic as its error string (``verify: DL001 ...``).
+Candidates that fail earlier (data-dependent control, compile failures
+such as ``block_grid``'s inconclusive fallback) are likewise kept in
+the report with their error: the tuner's job includes telling the user
+what it could not evaluate and why.
 
 Confirmations are memoized in the ``tune_measure`` cache registered with
 :mod:`repro.perf` and can fan out across worker processes (``jobs > 1``)
@@ -252,13 +256,32 @@ def tune(
                     source, entry, config, entry_shapes
                 )
                 cand.spec = compiled.spec
-                cand.predicted = predict(
+                # Prune statically: a configuration the verifier proves
+                # unsafe (deadlock, unbalanced channels, double write)
+                # is infeasible with a precise explanation — no need to
+                # predict, let alone simulate, it. Imported lazily: the
+                # verifier's walker subclasses repro.tune.model, so a
+                # module-level import here would be circular.
+                from repro.analysis import verify_compiled
+
+                verdict = verify_compiled(
                     compiled,
                     config.nprocs,
                     params={"N": n},
                     machine=machine,
                     extra_globals={"blksize": config.blksize},
                 )
+                if verdict.has_errors:
+                    first = verdict.errors[0]
+                    cand.error = f"verify: {first.code} {first.message}"
+                else:
+                    cand.predicted = predict(
+                        compiled,
+                        config.nprocs,
+                        params={"N": n},
+                        machine=machine,
+                        extra_globals={"blksize": config.blksize},
+                    )
             except ReproError as err:
                 cand.error = f"{type(err).__name__}: {err}"
             candidates.append(cand)

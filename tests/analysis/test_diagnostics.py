@@ -1,0 +1,119 @@
+"""Tests for the diagnostics framework: codes, report, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    PASSES,
+    Diagnostic,
+    Report,
+    Severity,
+    register_pass,
+    render_json,
+    render_text,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.INFO, Severity.ERROR]) is Severity.ERROR
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_location_and_format(self):
+        d = Diagnostic(
+            code="DL001", severity=Severity.ERROR, pass_name="deadlock",
+            message="cyclic wait", rank=3,
+            path=("proc main", "for i=2"),
+        )
+        assert d.location == "rank 3 @ proc main > for i=2"
+        text = d.format()
+        assert text.startswith("error: DL001 (deadlock): cyclic wait")
+        assert "rank 3" in text
+
+    def test_locationless(self):
+        d = Diagnostic(
+            code="GC003", severity=Severity.ERROR,
+            pass_name="guard-coverage", message="bad partner",
+        )
+        assert d.location == ""
+        assert d.format().endswith("bad partner")
+
+
+class TestReport:
+    def test_add_and_filters(self):
+        report = Report()
+        report.add("CB001", Severity.ERROR, "channel-balance", "x",
+                   rank=0, channel="c")
+        report.add("IS004", Severity.WARNING, "single-assignment", "y")
+        assert report.has_errors
+        assert len(report.errors) == 1
+        assert report.by_code("CB001")[0].details["channel"] == "c"
+        assert [d.code for d in report.by_code("IS004")] == ["IS004"]
+
+    def test_summary(self):
+        report = Report()
+        assert report.summary() == "clean: no diagnostics"
+        report.add("CB001", Severity.ERROR, "channel-balance", "x")
+        report.add("CB001", Severity.ERROR, "channel-balance", "y")
+        report.add("IS004", Severity.WARNING, "single-assignment", "z")
+        summary = report.summary()
+        assert "2 error(s)" in summary
+        assert "1 warning(s)" in summary
+        assert "CB001" in summary and "IS004" in summary
+
+
+class TestRegistry:
+    def test_expected_passes_registered(self):
+        # Importing the driver registers the four tentpole passes in
+        # a deterministic order.
+        import repro.analysis.verify  # noqa: F401
+
+        assert list(PASSES) == [
+            "channel-balance", "deadlock", "single-assignment",
+            "guard-coverage",
+        ]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_pass("channel-balance")(lambda ctx, report: None)
+
+
+class TestRenderers:
+    def make_report(self):
+        report = Report(metadata={"app": "jacobi", "nprocs": 4})
+        report.add(
+            "IS004", Severity.WARNING, "single-assignment", "inexact",
+        )
+        report.add(
+            "DL001", Severity.ERROR, "deadlock", "cyclic wait",
+            rank=0, path=("proc main",),
+            cycle=[0, 1], chain=["rank 0 waits for rank 1"],
+        )
+        return report
+
+    def test_text_orders_worst_first(self):
+        text = render_text(self.make_report(), title="verify jacobi")
+        assert text.splitlines()[0] == "-- verify jacobi --"
+        assert "app: jacobi" in text
+        assert text.index("DL001") < text.index("IS004")
+        assert "    rank 0 waits for rank 1" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_json_round_trips(self):
+        payload = render_json(self.make_report(), command="verify")
+        # Must be json-serializable as-is.
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["command"] == "verify"
+        assert parsed["error_count"] == 1
+        codes = {d["code"] for d in parsed["diagnostics"]}
+        assert codes == {"DL001", "IS004"}
+        dl = next(d for d in parsed["diagnostics"] if d["code"] == "DL001")
+        assert dl["severity"] == "error"
+        assert dl["details"]["cycle"] == [0, 1]

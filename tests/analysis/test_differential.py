@@ -1,0 +1,167 @@
+"""Differential tests: the static verifier against the simulator.
+
+The verifier's contract (ISSUE 5) is agreement with ground truth on the
+whole example-app matrix: a configuration it proves unsafe must actually
+misbehave under simulation (deadlock, runtime error, or undelivered
+messages), and a configuration it passes clean must simulate to
+completion with an empty network. Incompleteness is allowed exactly one
+escape hatch — an UNV001 *warning* saying the walk aborted on
+data-dependent control — and those configurations are excluded from the
+comparison (the verifier made no claim).
+
+The matrix is app x distribution x strategy, with ring sizes S in
+{2, 4, 8} checked inside each test so compilation (cached per source
+text) is shared across ring sizes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_compiled
+from repro.core.compiler import compile_program_cached
+from repro.core.runner import execute
+from repro.errors import ReproError
+from repro.spmd.layout import make_full
+from repro.tune.space import DEFAULT_DISTS, STRATEGIES, retarget_source
+
+N = 8
+RING_SIZES = (2, 4, 8)
+
+
+def app_config(app):
+    if app == "gauss_seidel":
+        from repro.apps import gauss_seidel as mod
+
+        return mod.SOURCE, dict(entry_shapes={"Old": ("N", "N")})
+    if app == "jacobi":
+        from repro.apps import jacobi as mod
+
+        return mod.SOURCE_WRAPPED, dict(
+            entry="jacobi_step", entry_shapes={"Old": ("N", "N")}
+        )
+    from repro.apps import triangular as mod
+
+    return mod.SOURCE, {}
+
+
+def compile_config(app, dist, strategy):
+    """Compile one configuration; None when compilation itself fails
+    (both the verifier and the simulator are then moot)."""
+    source, extra = app_config(app)
+    strat, opt_level = STRATEGIES[strategy]
+    try:
+        return compile_program_cached(
+            retarget_source(source, dist),
+            strategy=strat,
+            opt_level=opt_level,
+            assume_nprocs_min=2,
+            **extra,
+        )
+    except ReproError:
+        return None
+
+
+def simulator_verdict(compiled, nprocs, n=N):
+    """Ground truth: 'clean', 'deadlock', or 'error'."""
+    env = {**compiled.checked.consts, "N": n, "S": nprocs}
+    inputs = {}
+    for pname in compiled.entry_array_params:
+        info = compiled.array_info[compiled.entry][pname]
+        shape = tuple(d.evaluate(env) for d in info.shape)
+        inputs[pname] = make_full(shape, 1, name=pname)
+    try:
+        outcome = execute(compiled, nprocs, inputs=inputs, params={"N": n})
+    except ReproError as exc:
+        return "deadlock" if type(exc).__name__ == "DeadlockError" else "error"
+    return "clean" if outcome.sim.undelivered_count == 0 else "error"
+
+
+def verifier_verdict(compiled, nprocs, n=N):
+    """'clean', 'unsafe', or 'abstained' (walk aborted with a warning)."""
+    report = verify_compiled(compiled, nprocs, params={"N": n})
+    if report.has_errors:
+        return "unsafe"
+    if report.by_code("UNV001"):
+        return "abstained"
+    assert not report.diagnostics, report.summary()
+    return "clean"
+
+
+def check_agreement(app, dist, strategy, nprocs, n=N):
+    compiled = compile_config(app, dist, strategy)
+    if compiled is None:
+        return "uncompilable"
+    static = verifier_verdict(compiled, nprocs, n)
+    if static == "abstained":
+        return static
+    dynamic = simulator_verdict(compiled, nprocs, n)
+    label = f"{app} {dist} {strategy} S={nprocs} N={n}"
+    if static == "clean":
+        assert dynamic == "clean", (
+            f"{label}: verifier passed a configuration the simulator "
+            f"rejects ({dynamic}) — unsoundness"
+        )
+    else:
+        assert dynamic != "clean", (
+            f"{label}: verifier flagged a configuration the simulator "
+            "runs clean — false alarm"
+        )
+    return static
+
+
+MATRIX = [
+    (app, dist, strategy)
+    for app in ("gauss_seidel", "jacobi", "triangular")
+    for dist in DEFAULT_DISTS
+    for strategy in STRATEGIES
+]
+
+
+@pytest.mark.parametrize(
+    "app, dist, strategy", MATRIX,
+    ids=[f"{a}-{d}-{s}" for a, d, s in MATRIX],
+)
+def test_verifier_agrees_with_simulator(app, dist, strategy):
+    verdicts = {S: check_agreement(app, dist, strategy, S) for S in RING_SIZES}
+    # At least one ring size must yield a real comparison, otherwise the
+    # configuration silently dropped out of the differential matrix.
+    assert set(verdicts.values()) & {"clean", "unsafe", "uncompilable"}, verdicts
+
+
+def test_known_deadlock_is_caught():
+    """The jacobi loop-jamming deadlock (ISSUE 5's acceptance example)."""
+    compiled = compile_config("jacobi", "wrapped_cols", "optII")
+    assert compiled is not None
+    report = verify_compiled(compiled, 2, params={"N": N})
+    dl = report.by_code("DL001")
+    assert dl, report.summary()
+    assert dl[0].details["cycle"]
+    assert simulator_verdict(compiled, 2) == "deadlock"
+
+
+def test_known_clean_config_is_silent():
+    compiled = compile_config("gauss_seidel", "wrapped_cols", "optI")
+    assert compiled is not None
+    report = verify_compiled(compiled, 4, params={"N": N})
+    assert not report.diagnostics, report.summary()
+    assert simulator_verdict(compiled, 4) == "clean"
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    app=st.sampled_from(["gauss_seidel", "jacobi", "triangular"]),
+    dist=st.sampled_from(DEFAULT_DISTS),
+    strategy=st.sampled_from(sorted(STRATEGIES)),
+    nprocs=st.sampled_from(RING_SIZES),
+    n=st.integers(min_value=4, max_value=14),
+)
+def test_agreement_on_sampled_configs(app, dist, strategy, nprocs, n):
+    """Hypothesis widens the grid beyond the fixed N of the matrix —
+    deadlocks in jammed code are N-dependent (strip boundaries), so the
+    verifier must track the simulator across sizes, not just flags."""
+    check_agreement(app, dist, strategy, nprocs, n=n)

@@ -155,8 +155,51 @@ class TestTuneCommand:
                       "--procs", "2", "--dists", "wrapped_cols",
                       "--strategies", "compile,optII", "--top-k", "1")
         assert "tune jacobi" in out
-        # optII genuinely deadlocks on jacobi: reported, not crashed.
-        assert "DeadlockError" in out or "ModelError" in out
+        # optII genuinely deadlocks on jacobi: the static verifier prunes
+        # it with a DL001 diagnostic before any prediction or simulation.
+        assert "verify: DL001" in out
+
+
+class TestVerifyCommand:
+    """`bench verify` exit codes are an API: 0 clean, 1 diagnostics
+    (or compile failure), 2 usage error. CI scripts key on them."""
+
+    def test_clean_config_exits_zero(self, capsys):
+        out = run_cli(capsys, "verify", "--n", "8", "--nprocs", "4")
+        assert "verify gauss_seidel" in out
+        assert "clean: no diagnostics" in out
+
+    def test_unsafe_config_exits_one(self, capsys):
+        assert main(["verify", "--app", "jacobi", "--strategy", "optII",
+                     "--n", "12", "--nprocs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "DL001" in out
+        assert "cycle" in out or "waits for rank" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--dist", "bogus", "--n", "8"])
+        assert excinfo.value.code == 2
+        assert "unknown distribution" in capsys.readouterr().err
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "verify.json"
+        run_cli(capsys, "verify", "--n", "8", "--nprocs", "4",
+                "--json", str(path))
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "verify"
+        assert payload["app"] == "gauss_seidel"
+        assert payload["error_count"] == 0
+        assert payload["diagnostics"] == []
+
+    def test_json_report_with_errors(self, tmp_path, capsys):
+        path = tmp_path / "verify.json"
+        assert main(["verify", "--app", "jacobi", "--strategy", "optII",
+                     "--n", "12", "--nprocs", "2",
+                     "--json", str(path)]) == 1
+        payload = json.loads(path.read_text())
+        assert payload["error_count"] >= 1
+        assert any(d["code"] == "DL001" for d in payload["diagnostics"])
 
 
 class TestArgValidation:

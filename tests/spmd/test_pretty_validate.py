@@ -144,6 +144,39 @@ class TestValidate:
         with pytest.raises(IRError, match="channel"):
             validate_program(program(body))
 
+    def test_loop_var_shadowing(self):
+        body = [
+            NFor("i", NConst(1), NConst(3), NConst(1), [
+                NFor("i", NConst(1), NConst(2), NConst(1), []),
+            ])
+        ]
+        with pytest.raises(IRError, match="shadows an enclosing loop"):
+            validate_program(program(body))
+
+    def test_broadcast_empty_channel(self):
+        stmt = ir.NBroadcast(VarLV("x"), NConst(1), NConst(0), "")
+        with pytest.raises(IRError, match="channel"):
+            validate_program(program([stmt]))
+
+    def test_coerce_stores_into_loop_var(self):
+        stmt = NCoerce(VarLV("i"), NConst(0), NConst(0), NConst(1), "c")
+        body = [NFor("i", NConst(1), NConst(3), NConst(1), [stmt])]
+        with pytest.raises(IRError, match="loop variable"):
+            validate_program(program(body))
+
+    def test_callproc_double_result(self):
+        helper = NodeProc("h", params=[], body=[])
+        call = NCallProc("h", (), result=VarLV("x"), array_result="A")
+        with pytest.raises(IRError, match="both a scalar and an array"):
+            validate_program(program([call], extra=[helper]))
+
+    def test_callproc_result_into_loop_var(self):
+        helper = NodeProc("h", params=[], body=[])
+        call = NCallProc("h", (), result=VarLV("i"))
+        body = [NFor("i", NConst(1), NConst(3), NConst(1), [call])]
+        with pytest.raises(IRError, match="loop variable"):
+            validate_program(program(body, extra=[helper]))
+
     def test_collect_channels(self):
         body = [
             NSend(NConst(1), "a", (NConst(1),)),
