@@ -153,25 +153,30 @@ def cmd_fig7(args) -> None:
         )
 
 
-def cmd_speedup(args) -> None:
-    """Time the full strategy sweep on both backends and report the ratio.
+_SPEEDUP_BACKENDS = ("interp", "compiled", "replay")
 
-    The simulated results must agree exactly; the host-seconds ratio is
-    the compiled backend's figure of merit tracked across PRs.
+
+def cmd_speedup(args) -> None:
+    """Time the full strategy sweep on all three backends side by side.
+
+    The simulated results must agree exactly; the host-seconds ratios —
+    interp over compiled, and compiled over replay — are the execution
+    backends' figures of merit tracked across PRs.
     """
     procs = _parse_procs(args.procs)
     if not procs:
         raise SystemExit("speedup: --procs must name at least one ring size")
-    # Warm program compilation, closure compilation, and layout plans so
-    # the timed region measures steady-state execution only.
-    for backend in ("interp", "compiled"):
+    # Warm program compilation, closure compilation, layout plans, and
+    # replay skeletons so the timed region measures steady-state
+    # execution only.
+    for backend in _SPEEDUP_BACKENDS:
         sweep_nprocs(
             STRATEGY_ORDER, args.n, procs[:1], blksize=args.blksize,
             backend=backend, jobs=args.jobs,
         )
     sweeps = {}
     totals = {}
-    for backend in ("interp", "compiled"):
+    for backend in _SPEEDUP_BACKENDS:
         t0 = time.perf_counter()
         sweeps[backend] = sweep_nprocs(
             STRATEGY_ORDER, args.n, procs, blksize=args.blksize,
@@ -185,28 +190,38 @@ def cmd_speedup(args) -> None:
             for strategy, points in sweep.items()
         }
 
-    if simulated(sweeps["interp"]) != simulated(sweeps["compiled"]):
-        raise AssertionError("backends disagree on simulated results")
+    reference = simulated(sweeps["compiled"])
+    for backend in _SPEEDUP_BACKENDS:
+        if simulated(sweeps[backend]) != reference:
+            raise AssertionError(
+                f"backend {backend!r} disagrees with 'compiled' on "
+                "simulated results"
+            )
 
     exec_host = {
         backend: sum(p.host_seconds for ps in sweep.values() for p in ps)
         for backend, sweep in sweeps.items()
     }
     ratio = exec_host["interp"] / exec_host["compiled"]
+    replay_ratio = exec_host["compiled"] / exec_host["replay"]
     rows = [
         {
             "backend": backend,
             "exec_host_s": f"{exec_host[backend]:.3f}",
             "sweep_wall_s": f"{totals[backend]:.3f}",
+            "vs_compiled": (
+                f"{exec_host['compiled'] / exec_host[backend]:.2f}x"
+            ),
         }
-        for backend in ("interp", "compiled")
+        for backend in _SPEEDUP_BACKENDS
     ]
     print(
         format_table(
             rows,
-            ["backend", "exec_host_s", "sweep_wall_s"],
+            ["backend", "exec_host_s", "sweep_wall_s", "vs_compiled"],
             f"backend speedup (N={args.n}, S in {procs}): "
-            f"{ratio:.2f}x",
+            f"compiled {ratio:.2f}x over interp, "
+            f"replay {replay_ratio:.2f}x over compiled",
         )
     )
     _print_profile(args)
@@ -219,6 +234,7 @@ def cmd_speedup(args) -> None:
             "exec_host_seconds": exec_host,
             "sweep_wall_seconds": totals,
             "speedup": ratio,
+            "replay_speedup": replay_ratio,
             "points": {
                 backend: [
                     asdict(p) for ps in sweep.values() for p in ps
@@ -638,7 +654,9 @@ def main(argv: list[str] | None = None) -> int:
         cmd.add_argument("--nprocs", type=int, default=8)
         cmd.add_argument("--blksize", type=int, default=8)
         cmd.add_argument(
-            "--backend", choices=["compiled", "interp"], default="compiled"
+            "--backend",
+            choices=["compiled", "interp", "replay"],
+            default="compiled",
         )
         cmd.add_argument(
             "--profile", action="store_true",

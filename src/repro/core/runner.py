@@ -77,7 +77,7 @@ def execute(
     entry_info = compiled.array_info[compiled.entry]
     entry_proc = compiled.checked.proc(compiled.entry)
 
-    parts_by_name: dict[str, list[IStructure]] = {}
+    sources: dict[str, IStructure] = {}
     for pname in compiled.entry_array_params:
         if pname not in inputs:
             raise CompileError(f"missing input array {pname!r}")
@@ -94,18 +94,48 @@ def execute(
                 f"input {pname!r} has shape {source.shape}, expected "
                 f"{expected}"
             )
-        parts_by_name[pname] = scatter(source, info.dist, nprocs, name=pname)
+        sources[pname] = source
+
+    parts_by_name: dict[str, list[IStructure]] = {}
+
+    def parts(pname: str) -> list[IStructure]:
+        got = parts_by_name.get(pname)
+        if got is None:
+            got = parts_by_name[pname] = scatter(
+                sources[pname], entry_info[pname].dist, nprocs, name=pname
+            )
+        return got
+
+    def scalar_input(pname: str) -> object:
+        if pname not in inputs:
+            raise CompileError(f"missing input scalar {pname!r}")
+        return inputs[pname]
 
     def make_args(rank: int) -> list[object]:
-        args: list[object] = []
-        for param in entry_proc.params:
-            if param.type.is_array():
-                args.append(parts_by_name[param.name][rank])
-            else:
-                if param.name not in inputs:
-                    raise CompileError(f"missing input scalar {param.name!r}")
-                args.append(inputs[param.name])
-        return args
+        return [
+            parts(param.name)[rank]
+            if param.type.is_array()
+            else scalar_input(param.name)
+            for param in entry_proc.params
+        ]
+
+    if backend == "replay":
+        # The replay extractor never looks at array *values*, so hand it
+        # an argument maker that skips the (expensive) scatter; the real
+        # ``make_args`` scatters lazily if the run falls back.
+        from repro.tune.model import _ARRAY
+
+        def extract_args(rank: int) -> list[object]:
+            return [
+                _ARRAY
+                if param.type.is_array()
+                else scalar_input(param.name)
+                for param in entry_proc.params
+            ]
+    else:
+        extract_args = None
+        for pname in compiled.entry_array_params:
+            parts(pname)  # eager, as before
 
     globals_: dict[str, object] = dict(params)
     globals_.update(extra_globals or {})
@@ -132,12 +162,16 @@ def execute(
             placement=placement,
             backend=backend,
             strict=strict,
+            extract_args=extract_args,
         )
 
-    if compiled.entry_return_array is not None:
+    if result.backend == "replay":
+        # Replay advances clocks only; there are no values to gather.
+        value: object = None
+    elif compiled.entry_return_array is not None:
         info = compiled.entry_return_array
         shape = tuple(d.evaluate(env) for d in info.shape)
-        value: object = gather(
+        value = gather(
             result.returned, info.dist, nprocs, shape, name="result"
         )
     else:

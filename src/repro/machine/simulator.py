@@ -515,6 +515,18 @@ def _deadlock_error(
     blocked: list[_Proc],
     queues: dict[ChannelKey, deque],
 ) -> DeadlockError:
+    """Collect the live engine's state and build the forensics error."""
+    waiting = {p.rank: p.waiting_on for p in blocked}
+    statuses = {p.rank: p.status.name for p in procs}
+    undelivered = {tuple(k): len(q) for k, q in queues.items() if q}
+    return deadlock_forensics(waiting, statuses, undelivered)
+
+
+def deadlock_forensics(
+    waiting: dict[int, ChannelKey],
+    statuses: dict[int, str],
+    undelivered: dict[tuple, int],
+) -> DeadlockError:
     """Build a DeadlockError carrying the full wait-for graph.
 
     For every blocked rank: the (src, dst, channel) key it is receiving
@@ -522,21 +534,23 @@ def _deadlock_error(
     itself blocked — what *it* waits on. Messages sitting undelivered in
     queues are listed too: a deadlock with queued traffic usually means
     mismatched channel names rather than a missing send.
+
+    Shared by the live engine and the replay backend so both surface
+    byte-identical diagnostics for the same stuck configuration.
+    ``waiting`` maps each blocked rank to the :class:`ChannelKey` it is
+    receiving on; ``statuses`` maps every rank to its status name.
     """
     wait_for: dict[int, dict] = {}
-    for p in blocked:
-        key = p.waiting_on
+    for rank, key in waiting.items():
         entry: dict = {"key": tuple(key)}
-        sender = procs[key.src] if 0 <= key.src < len(procs) else None
-        if sender is not None:
-            entry["sender_status"] = sender.status.name
+        status = statuses.get(key.src)
+        if status is not None:
+            entry["sender_status"] = status
+            sender_key = waiting.get(key.src)
             entry["sender_waiting_on"] = (
-                tuple(sender.waiting_on)
-                if sender.waiting_on is not None
-                else None
+                tuple(sender_key) if sender_key is not None else None
             )
-        wait_for[p.rank] = entry
-    undelivered = {tuple(k): len(q) for k, q in queues.items() if q}
+        wait_for[rank] = entry
     lines = ["all live processes are blocked on receives"]
     for rank in sorted(wait_for):
         entry = wait_for[rank]
@@ -558,7 +572,7 @@ def _deadlock_error(
         lines.append(f"  undelivered in queues: {queued}")
     return DeadlockError(
         "\n".join(lines),
-        blocked={p.rank: str(p.waiting_on) for p in blocked},
+        blocked={rank: str(key) for rank, key in waiting.items()},
         wait_for=wait_for,
         undelivered=undelivered,
     )

@@ -26,6 +26,11 @@ class SPMDResult:
 
     sim: SimResult
     returned: list[object]
+    backend: str = "compiled"
+    """The engine that actually produced the result — ``"compiled"`` when
+    a ``backend="replay"`` request fell back (see ``fallback_reason``)."""
+    fallback_reason: str | None = None
+    """Why a requested replay run fell back to the compiled backend."""
 
     @property
     def makespan_us(self) -> float:
@@ -372,6 +377,7 @@ def run_spmd(
     placement: list[int] | None = None,
     backend: str = "compiled",
     strict: bool = False,
+    extract_args=None,
 ) -> SPMDResult:
     """Execute ``program`` on ``nprocs`` simulated processes.
 
@@ -385,13 +391,54 @@ def run_spmd(
     ``backend`` selects the execution engine: ``"compiled"`` (default)
     runs closures compiled once per (program, rank) by
     :mod:`repro.spmd.compile`; ``"interp"`` is the tree-walking
-    reference interpreter, kept as the differential oracle.
+    reference interpreter, kept as the differential oracle; ``"replay"``
+    extracts each rank's static event skeleton once and replays clocks
+    over columnar arrays (:mod:`repro.replay`) — timing-identical to
+    ``"compiled"`` but with ``returned`` all ``None`` (no array values
+    are computed). A replay request the extractor must abstain on — or
+    that asks for features replay does not model (tracing, non-identity
+    placement, a custom step budget) — silently falls back to the
+    compiled backend; check ``SPMDResult.backend``/``fallback_reason``.
 
     ``strict=True`` turns messages left undelivered at completion into a
     :class:`~repro.errors.SimulationError` — generated code must consume
     every message it is sent, so a leak is a codegen bug.
+
+    ``extract_args`` optionally supplies a cheaper ``make_args`` for the
+    replay extractor only — array arguments may be any placeholder (the
+    extractor discards their values); the real ``make_args`` is still
+    used when the run falls back. Ignored by the other backends.
     """
     machine = machine or MachineParams.ipsc2()
+
+    if backend == "replay":
+        fallback_reason = _replay_unsupported(trace, placement, max_steps)
+        if fallback_reason is None:
+            from repro import perf
+            from repro.replay import ReplayAbstention, extract_skeletons, replay
+
+            try:
+                skeleton = extract_skeletons(
+                    program, nprocs, extract_args or make_args, globals_ or {}
+                )
+            except ReplayAbstention as abstained:
+                fallback_reason = str(abstained)
+            else:
+                with perf.phase("replay"):
+                    sim = replay(skeleton, machine, strict=strict)
+                return SPMDResult(
+                    sim=sim, returned=sim.returned, backend="replay"
+                )
+        from repro import perf
+
+        perf.incr("replay.fallback")
+        result = run_spmd(
+            program, nprocs, make_args, machine=machine, globals_=globals_,
+            trace=trace, max_steps=max_steps, placement=placement,
+            backend="compiled", strict=strict,
+        )
+        result.fallback_reason = fallback_reason
+        return result
 
     if backend == "compiled":
         from repro.spmd.compile import compiled_node
@@ -408,10 +455,31 @@ def run_spmd(
             return node.run(list(make_args(rank)))
     else:
         raise ValueError(
-            f"unknown backend {backend!r} (expected 'compiled' or 'interp')"
+            f"unknown backend {backend!r} "
+            "(expected 'compiled', 'interp', or 'replay')"
         )
 
     sim = Simulator(
         nprocs, machine, trace=trace, max_steps=max_steps, strict=strict
     ).run(factory, placement=placement)
-    return SPMDResult(sim=sim, returned=sim.returned)
+    return SPMDResult(sim=sim, returned=sim.returned, backend=backend)
+
+
+def _replay_unsupported(
+    trace: bool, placement: list[int] | None, max_steps: int
+) -> str | None:
+    """Reason replay cannot honour these run options, or None if it can.
+
+    Replay models the base machine only: identity placement (one process
+    per processor — §5.3/5.4 packing changes clock semantics), no event
+    tracing, and no step budget (replay executes one pass per event, so
+    a runaway-program guard is meaningless and a *custom* budget implies
+    the caller wants the live engine's accounting).
+    """
+    if trace:
+        return "trace requested"
+    if placement is not None and placement != list(range(len(placement))):
+        return "non-identity placement"
+    if max_steps != 50_000_000:
+        return "custom max_steps"
+    return None

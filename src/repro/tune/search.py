@@ -179,7 +179,11 @@ def _confirm(
         backend=backend,
     )
     host_seconds = time.perf_counter() - host_t0
-    if oracle is not None and compiled.entry_return_array is not None:
+    if (
+        oracle is not None
+        and compiled.entry_return_array is not None
+        and outcome.value is not None  # replay produces no array values
+    ):
         expected = oracle(n, [[1] * n for _ in range(n)])
         if outcome.value.to_nested() != expected:
             raise AssertionError(
