@@ -53,6 +53,7 @@ from repro.core.compiler import (
     compile_program_cached,
 )
 from repro.core.specialize import _specialize_direct, specialize_for_rank
+from repro.store import store_disabled
 
 STRATEGIES = {
     "runtime": (Strategy.RUNTIME, OptLevel.NONE),
@@ -170,16 +171,20 @@ def run_benchmark(quick: bool = True) -> dict:
 
     differential = check_differential(diff_n, 4)
 
-    perf.reset(clear_cache_tables=True)
-    seconds = {
-        mode: _time_mode(proc_counts, mode, repeats)
-        for mode in ("cached", "prepr_baseline", "uncached_strict")
-    }
-    # One warm cached sweep so the hit-rate check sees steady state.
-    perf.reset(clear_cache_tables=True)
-    _sweep_compile_side(proc_counts, "cached")
-    _sweep_compile_side(proc_counts, "cached")
-    hit_rates = check_hit_rates()
+    # The disk tier would let "cached" skip compilation outright (and
+    # starve the inner caches of traffic) — this benchmark measures the
+    # in-process memoization layers, so keep the store out of it.
+    with store_disabled():
+        perf.reset(clear_cache_tables=True)
+        seconds = {
+            mode: _time_mode(proc_counts, mode, repeats)
+            for mode in ("cached", "prepr_baseline", "uncached_strict")
+        }
+        # One warm cached sweep so the hit-rate check sees steady state.
+        perf.reset(clear_cache_tables=True)
+        _sweep_compile_side(proc_counts, "cached")
+        _sweep_compile_side(proc_counts, "cached")
+        hit_rates = check_hit_rates()
 
     speedup = seconds["prepr_baseline"] / seconds["cached"]
     return {
@@ -215,10 +220,11 @@ def test_cached_compilation_is_semantically_invisible():
 
 
 def test_compile_side_caches_record_hits():
-    perf.reset(clear_cache_tables=True)
-    _sweep_compile_side([2, 8], "cached")
-    _sweep_compile_side([2, 8], "cached")
-    assert check_hit_rates()
+    with store_disabled():  # a primed disk store would bypass compilation
+        perf.reset(clear_cache_tables=True)
+        _sweep_compile_side([2, 8], "cached")
+        _sweep_compile_side([2, 8], "cached")
+        assert check_hit_rates()
 
 
 def main(argv: list[str] | None = None) -> int:

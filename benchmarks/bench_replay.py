@@ -1,32 +1,29 @@
 """Columnar replay acceptance benchmark (``BENCH_replay.json``).
 
-Two gates, both over the same strategy sweep:
+Thin driver over :mod:`repro.bench.replay_bench`, which times four
+replay flavours per strategy point — ``fresh`` (empty caches and store),
+``warm`` (vectorized engine, in-process steady state), ``scalar`` (the
+per-event oracle walk, plan rebuilt per call), and ``cold`` (memory
+tiers dropped, on-disk artifact store primed) — and enforces the gates:
 
-``identity``
-    every benchmarked point must be *bit-identical* between the
-    compiled simulator and the replay backend — makespan, message
-    count, byte count, and per-rank communication times — and the
-    replay run must actually have used the replay backend (a silent
-    fallback would make the speed numbers meaningless).
-``speed``
-    at the full N=1024 / S=256 scale a *warm* replay (the skeleton
-    memoized in the ``replay_skeleton`` perf cache — the steady state
-    ``bench speedup`` sweeps and the tuner's repeated confirmations
-    live in) must beat the compiled simulator by at least **10x** on
-    every point; the one-shot *cold* ratio (extraction + columnar
-    walk) is recorded alongside. Quick mode (CI smoke) runs a smaller
-    N=512 / S=128 grid and instead gates the cold ratio at **3x** on
-    the event-heavy Optimized I point — the regression it catches is
-    the extractor's loop replication decaying into per-iteration
-    walking, which shows up cold, at any scale. Optimized III's cold
-    ratio is never gated: jamming and vectorization collapse the
-    compiled baseline to a fraction of a second, so extraction
-    dominates a one-shot run and only its warm ratio (30x+) means
-    anything.
+* every flavour **bit-identical** to the compiled simulator (makespan,
+  messages, bytes, per-rank communication times), on the replay backend,
+  no silent fallback;
+* full scale (N=1024 / S=256, the committed numbers): warm replay at
+  least **10x** over the compiled simulator, the vectorized engine at
+  least **5x** over the scalar walk (``vector_x``), and a primed-store
+  cold run at least **5x** over compiled with a nonzero disk hit count —
+  a fresh process must actually benefit from the store;
+* quick mode (CI smoke, N=512 / S=128): the fresh ratio gated at **3x**
+  on the event-heavy Optimized I point (catches extraction decaying into
+  per-iteration walking) and the primed-store cold ratio at **5x** on
+  every point.
 
 Run as a script (``python benchmarks/bench_replay.py``) to refresh
 ``BENCH_replay.json``; exits nonzero if a gate fails. Also collected by
-pytest with a small grid where only the identity gate applies.
+pytest with a small grid where only the identity checks apply. The JSON
+payload carries ``perf.cache_stats()`` — per-cache entry counts, hit
+rates, byte estimates, and disk-store counters.
 """
 
 from __future__ import annotations
@@ -34,153 +31,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
-from repro.core.compiler import compile_program_cached
-from repro.core.runner import execute
-from repro.machine import MachineParams
-from repro.spmd.layout import make_full
-from repro.tune.space import STRATEGIES, retarget_source
+from repro.bench.replay_bench import run_benchmark, run_point
 
-MACHINE = MachineParams.ipsc2()
-COLD_GATE = 3.0
-WARM_GATE = 10.0
-STRATEGY_SWEEP = ("optI", "optIII")
-
-
-def _compile(strategy: str, dist: str = "wrapped_cols"):
-    from repro.apps import gauss_seidel as gs
-
-    strat, opt_level = STRATEGIES[strategy]
-    return compile_program_cached(
-        retarget_source(gs.SOURCE, dist),
-        strategy=strat,
-        opt_level=opt_level,
-        entry_shapes={"Old": ("N", "N")},
-        assume_nprocs_min=2,
-    )
-
-
-def _time(fn, repeats: int):
-    """(best seconds, last result) over ``repeats`` calls."""
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def run_point(
-    strategy: str,
-    n: int,
-    nprocs: int,
-    blksize: int = 4,
-    repeats: int = 2,
-    cold_gate: float | None = None,
-    warm_gate: float | None = None,
-) -> dict:
-    """Benchmark one configuration; raises AssertionError on any gate."""
-    from repro.replay.skeleton import _skeleton_cache
-
-    compiled = _compile(strategy)
-    label = f"{strategy} N={n} S={nprocs}"
-
-    def run(backend):
-        return execute(
-            compiled, nprocs,
-            inputs={"Old": make_full((n, n), 1, name="Old")},
-            params={"N": n}, machine=MACHINE,
-            extra_globals={"blksize": blksize},
-            backend=backend,
-        )
-
-    compiled_s, ref = _time(lambda: run("compiled"), repeats)
-
-    _skeleton_cache.clear()
-    cold_s, cold = _time(lambda: run("replay"), 1)
-    warm_s, warm = _time(lambda: run("replay"), repeats)
-
-    for name, got in (("cold", cold), ("warm", warm)):
-        if got.spmd.backend != "replay":
-            raise AssertionError(
-                f"{label}: {name} replay fell back to compiled "
-                f"({got.spmd.fallback_reason})"
-            )
-        if got.makespan_us != ref.makespan_us:
-            raise AssertionError(
-                f"{label}: {name} replay makespan {got.makespan_us!r} != "
-                f"compiled {ref.makespan_us!r}"
-            )
-        if got.total_messages != ref.total_messages:
-            raise AssertionError(
-                f"{label}: {name} replay messages {got.total_messages} != "
-                f"compiled {ref.total_messages}"
-            )
-        if got.sim.stats.total_bytes != ref.sim.stats.total_bytes:
-            raise AssertionError(
-                f"{label}: {name} replay bytes "
-                f"{got.sim.stats.total_bytes} != compiled "
-                f"{ref.sim.stats.total_bytes}"
-            )
-        if got.sim.comm_times_us != ref.sim.comm_times_us:
-            raise AssertionError(f"{label}: {name} comm_times_us diverged")
-
-    cold_x = compiled_s / cold_s if cold_s else float("inf")
-    warm_x = compiled_s / warm_s if warm_s else float("inf")
-    if cold_gate is not None and cold_x < cold_gate:
-        raise AssertionError(
-            f"{label}: cold replay {cold_s:.2f}s vs compiled "
-            f"{compiled_s:.2f}s — only {cold_x:.1f}x, gate is {cold_gate}x"
-        )
-    if warm_gate is not None and warm_x < warm_gate:
-        raise AssertionError(
-            f"{label}: warm replay {warm_s:.2f}s vs compiled "
-            f"{compiled_s:.2f}s — only {warm_x:.1f}x, gate is {warm_gate}x"
-        )
-    return {
-        "strategy": strategy,
-        "n": n,
-        "nprocs": nprocs,
-        "blksize": blksize,
-        "compiled_s": round(compiled_s, 3),
-        "replay_cold_s": round(cold_s, 3),
-        "replay_warm_s": round(warm_s, 3),
-        "cold_x": round(cold_x, 1),
-        "warm_x": round(warm_x, 1),
-        "makespan_us": ref.makespan_us,
-        "messages": ref.total_messages,
-        "bytes": ref.sim.stats.total_bytes,
-    }
-
-
-def run_benchmark(quick: bool = True) -> dict:
-    if quick:
-        n, nprocs = 512, 128
-        cold_gate, warm_gate = COLD_GATE, None
-    else:
-        n, nprocs = 1024, 256
-        cold_gate, warm_gate = None, WARM_GATE
-    points = [
-        run_point(
-            strategy, n, nprocs, repeats=2,
-            cold_gate=cold_gate if strategy == "optI" else None,
-            warm_gate=warm_gate,
-        )
-        for strategy in STRATEGY_SWEEP
-    ]
-    return {
-        "benchmark": "columnar replay acceptance",
-        "quick": quick,
-        "gates": {"cold_x": cold_gate, "warm_x": warm_gate},
-        "points": points,
-    }
+__all__ = ["run_benchmark", "run_point", "main"]
 
 
 # ---------------------------------------------------------------------------
-# pytest entry points (small grid: identity gates only — tiny runs cannot
-# amortize skeleton extraction, so speed is gated in script mode)
+# pytest entry points (small grid: identity + store-roundtrip checks only —
+# tiny runs cannot amortize skeleton extraction, so speed is gated in
+# script mode)
 # ---------------------------------------------------------------------------
 
 
@@ -188,18 +49,20 @@ def test_replay_identity_optI_small():
     __import__("pytest").importorskip("numpy")
     point = run_point("optI", 64, 8, repeats=1)
     assert point["messages"] > 0
+    assert point["store_hits_cold"] >= 1
 
 
 def test_replay_identity_optIII_small():
     __import__("pytest").importorskip("numpy")
     point = run_point("optIII", 64, 8, repeats=1)
     assert point["messages"] > 0
+    assert point["store_hits_cold"] >= 1
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
-                        help="small grid, cold gate only (CI smoke)")
+                        help="small grid, fresh+cold gates only (CI smoke)")
     parser.add_argument("--json", default="BENCH_replay.json", metavar="PATH",
                         help="output path ('-' for stdout only)")
     args = parser.parse_args(argv)
@@ -218,9 +81,12 @@ def main(argv: list[str] | None = None) -> int:
     for point in payload["points"]:
         print(
             f"OK: {point['strategy']} N={point['n']} S={point['nprocs']}: "
-            f"compiled {point['compiled_s']}s, replay cold "
-            f"{point['replay_cold_s']}s ({point['cold_x']}x), warm "
-            f"{point['replay_warm_s']}s ({point['warm_x']}x)"
+            f"compiled {point['compiled_s']}s, replay fresh "
+            f"{point['replay_fresh_s']}s ({point['fresh_x']}x), cold "
+            f"{point['replay_cold_s']}s ({point['cold_x']}x, "
+            f"{point['store_hits_cold']} disk hits), warm "
+            f"{point['replay_warm_s']}s ({point['warm_x']}x, "
+            f"{point['vector_x']}x over the scalar walk)"
         )
     return 0
 

@@ -1,0 +1,27 @@
+"""Suite-wide fixtures.
+
+The persistent artifact store (:mod:`repro.store`) defaults to
+``~/.cache/repro`` — a real, shared location. Tests must never read
+another process's artifacts (cache hit/miss assertions would become
+order-dependent) nor leave their own behind, so the whole session runs
+against a throwaway store rooted in pytest's tmp area. Individual store
+tests repoint ``REPRO_CACHE_DIR`` again inside their own tmp dirs; the
+handle re-resolves the environment on every access, so no reload or
+monkeypatching of module state is needed.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_store(tmp_path_factory):
+    import os
+
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    root = tmp_path_factory.mktemp("repro-store")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prior

@@ -33,7 +33,27 @@ _PER_CODE_CAP = 10  # identical-shape findings kept per (code, rank)
 # Verification is deterministic in (program, ring, bindings), so reports
 # are memoized exactly like the cost model's predictions — the tuner
 # re-verifies the same compiled program once per candidate ring size.
-_verify_cache: dict = perf.register_cache("verify", {})
+# Persistent: a fresh process (CLI rerun, --jobs worker) loads reports
+# straight from the shared artifact store.
+
+
+def _canonical_verify_key(key) -> str | None:
+    program, nprocs, machine, globals_items, inputs_items = key
+    try:
+        from repro.spmd import pretty_program
+
+        text = pretty_program(program)
+    except Exception:
+        return None
+    rest = f"{nprocs}|{machine!r}|{globals_items!r}|{inputs_items!r}"
+    if " at 0x" in rest:  # an object repr leaked an address: not stable
+        return None
+    return f"verify|{text}|{rest}"
+
+
+_verify_cache: dict = perf.register_cache(
+    "verify", {}, persistent=True, key_fn=_canonical_verify_key,
+)
 
 
 class VerifyContext:

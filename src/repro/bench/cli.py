@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench trace [--app gauss_seidel] [--strategy optIII]
                                 [--n 24] [--nprocs 4] [--trace-out FILE]
     python -m repro.bench speedup [--n 48] [--procs 2,4,8,16]
+    python -m repro.bench replay [--full] [--json PATH]
     python -m repro.bench tune [--app gauss_seidel] [--n 48] [--procs 4]
                                [--top-k 3] [--dists ...] [--strategies ...]
                                [--blksizes 1,2,4,8,16]
@@ -25,6 +26,11 @@ The ``tune`` command searches distribution x strategy x blksize for the
 given app: it predicts every candidate with the analytic cost model
 (:mod:`repro.tune.model`), then confirms only the predicted-best
 ``--top-k`` on the real simulator and prints the ranked report.
+
+The ``replay`` command runs the replay backend's acceptance sweep
+(:mod:`repro.bench.replay_bench`) — fresh / warm / scalar-oracle /
+primed-store-cold timings with bit-identity checks — and reports the
+perf cache statistics alongside, disk-store hit counts included.
 
 The ``trace`` command runs one traced simulation and renders the full
 observability report — timeline, per-rank utilization, critical path,
@@ -44,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from dataclasses import asdict
 
@@ -241,10 +248,68 @@ def cmd_speedup(args) -> None:
                 ]
                 for backend, sweep in sweeps.items()
             },
+            # How much of the sweep the memoization tables absorbed —
+            # hit rates near zero here mean the speedup above is
+            # measuring cache misses, not backends.
+            "cache_stats": perf.cache_stats(),
         }
         if args.profile:
             payload["profile"] = perf.snapshot()
         _dump_json(payload, args.json)
+
+
+def cmd_replay(args) -> int:
+    """Replay acceptance sweep: bit-identity plus the speed gates.
+
+    Quick grid by default (the full N=1024/S=256 sweep that refreshes
+    the committed ``BENCH_replay.json`` takes minutes — opt in with
+    ``--full``). The JSON payload embeds ``perf.cache_stats()`` so hit
+    rates — including the on-disk artifact store's — ride along with
+    the timings they explain.
+    """
+    from repro.bench.replay_bench import run_benchmark
+
+    try:
+        payload = run_benchmark(quick=not args.full)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    point_cols = [
+        "strategy", "compiled_s", "replay_fresh_s", "replay_cold_s",
+        "replay_warm_s", "scalar_warm_s", "cold_x", "warm_x", "vector_x",
+    ]
+    rows = [
+        {col: str(point[col]) for col in point_cols}
+        for point in payload["points"]
+    ]
+    first = payload["points"][0]
+    print(
+        format_table(
+            rows, point_cols,
+            f"replay acceptance (N={first['n']}, S={first['nprocs']}, "
+            f"{'quick' if payload['quick'] else 'full'})",
+        )
+    )
+    stats_cols = ["cache", "entries", "hit_rate", "est_bytes", "store_hits"]
+    stats_rows = [
+        {
+            "cache": name,
+            "entries": str(entry["entries"]),
+            "hit_rate": f"{entry['hit_rate']:.1%}",
+            "est_bytes": str(entry["est_bytes"]),
+            "store_hits": str(entry.get("store_hits", "-")),
+        }
+        for name, entry in sorted(payload["cache_stats"].items())
+        if entry["hits"] or entry["misses"]
+    ]
+    print()
+    print(format_table(stats_rows, stats_cols, "perf caches"))
+    _print_profile(args)
+    if args.json:
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
+    return 0
 
 
 def cmd_msgcount(args) -> None:
@@ -644,6 +709,7 @@ def main(argv: list[str] | None = None) -> int:
         ("timeline", cmd_timeline),
         ("trace", cmd_trace),
         ("speedup", cmd_speedup),
+        ("replay", cmd_replay),
         ("tune", cmd_tune),
         ("verify", cmd_verify),
     ):
@@ -663,7 +729,7 @@ def main(argv: list[str] | None = None) -> int:
             help="print compiler/runtime counters and phase timers "
                  "(and embed them in --json dumps)",
         )
-        if name in ("fig6", "fig7", "speedup", "tune", "verify"):
+        if name in ("fig6", "fig7", "speedup", "replay", "tune", "verify"):
             cmd.add_argument(
                 "--json", type=str, default=None, metavar="PATH",
                 help="also dump the measurement points as JSON "
@@ -673,6 +739,12 @@ def main(argv: list[str] | None = None) -> int:
                 "--jobs", type=int, default=1, metavar="N",
                 help="measure up to N strategy series in parallel "
                      "worker processes",
+            )
+        if name == "replay":
+            cmd.add_argument(
+                "--full", action="store_true",
+                help="full N=1024/S=256 sweep with every speed gate "
+                     "(the committed BENCH_replay.json scale; minutes)",
             )
         if name in ("timeline", "trace", "verify"):
             cmd.add_argument(

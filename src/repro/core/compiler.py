@@ -160,7 +160,15 @@ def compile_program_cached(
     return result
 
 
-_compile_cache: dict = perf.register_cache("compile", {})
+def _canonical_compile_key(key) -> str:
+    # Every component (source text, entry name, Strategy/OptLevel enums,
+    # sorted shape tuples, int) has a process-independent repr.
+    return f"compile|{key!r}"
+
+
+_compile_cache: dict = perf.register_cache(
+    "compile", {}, persistent=True, key_fn=_canonical_compile_key,
+)
 
 
 def _compile_program(

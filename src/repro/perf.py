@@ -12,15 +12,25 @@ One tiny module, imported by the hot paths, holding three things:
   (``set_caches_enabled(False)``), which is how benchmarks measure the
   uncached baseline without a separate code path.
 
-Everything is process-local. The parallel bench harness snapshots worker
-state and merges it into the parent with :func:`merge`.
+Caches registered with ``persistent=True`` additionally spill to the
+process-shared on-disk artifact store (:mod:`repro.store`): a memory
+miss falls through to a disk read, and every insert is mirrored to disk,
+so cold processes — fresh CLI invocations, ``--jobs`` workers — start
+from the fleet's warm state. Persistence requires a ``key_fn`` mapping
+the in-memory key (which may contain identity-hashed objects) to a
+canonical, process-independent string; returning ``None`` marks a key
+unpersistable and keeps it memory-only.
+
+Everything else is process-local. The parallel bench harness snapshots
+worker state and merges it into the parent with :func:`merge`.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
-from typing import Iterator, MutableMapping
+from typing import Callable, Iterator, MutableMapping
 
 _counters: dict[str, int] = {}
 _phases: dict[str, float] = {}
@@ -80,8 +90,109 @@ def phase_seconds(name: str) -> float:
 # ---------------------------------------------------------------------------
 
 
-def register_cache(name: str, mapping: MutableMapping) -> MutableMapping:
-    """Register a memoization table so it participates in clear/disable."""
+_MISSING = object()
+
+
+class SpillDict(MutableMapping):
+    """A dict whose misses fall through to the on-disk artifact store.
+
+    Behaves exactly like the plain dict it wraps, with two additions:
+    ``get``/``[]``/``in`` consult the disk store on a memory miss
+    (loading hits back into memory and counting ``store.<name>.hit``),
+    and ``[key] = value`` mirrors the entry to disk. ``clear()`` empties
+    only the in-memory tier — that is what lets a benchmark simulate a
+    fresh process against a primed store.
+    """
+
+    def __init__(self, name: str,
+                 key_fn: Callable[[object], "str | None"]):
+        self.name = name
+        self.key_fn = key_fn
+        self._mem: dict = {}
+        self._digests: dict = {}  # key -> sha256 digest (or None)
+
+    def _digest(self, key) -> "str | None":
+        digest = self._digests.get(key, _MISSING)
+        if digest is _MISSING:
+            from repro import store
+
+            canonical = self.key_fn(key)
+            digest = (
+                store.key_digest(canonical) if canonical is not None else None
+            )
+            self._digests[key] = digest
+        return digest
+
+    def get(self, key, default=None):
+        value = self._mem.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        if _caches_enabled:
+            from repro import store
+
+            handle = store.get_store()
+            if handle.enabled:
+                digest = self._digest(key)
+                if digest is not None:
+                    value = handle.get(self.name, digest)
+                    if value is not None:
+                        self._mem[key] = value
+                        return value
+        return default
+
+    def __getitem__(self, key):
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def __setitem__(self, key, value) -> None:
+        self._mem[key] = value
+        if _caches_enabled:
+            from repro import store
+
+            handle = store.get_store()
+            if handle.enabled:
+                digest = self._digest(key)
+                if digest is not None:
+                    handle.put(self.name, digest, value)
+
+    def __delitem__(self, key) -> None:
+        del self._mem[key]
+
+    def __iter__(self):
+        return iter(self._mem)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self) -> None:  # memory tier only; the store survives
+        self._mem.clear()
+        self._digests.clear()
+
+    def values(self):
+        return self._mem.values()
+
+
+def register_cache(
+    name: str,
+    mapping: MutableMapping,
+    persistent: bool = False,
+    key_fn: Callable[[object], "str | None"] | None = None,
+) -> MutableMapping:
+    """Register a memoization table so it participates in clear/disable.
+
+    With ``persistent=True`` (requires ``key_fn``), the returned mapping
+    is a :class:`SpillDict` backed by the artifact store — one line is
+    all a cache needs to become shared across processes.
+    """
+    if persistent:
+        if key_fn is None:
+            raise ValueError(f"persistent cache {name!r} requires a key_fn")
+        mapping = SpillDict(name, key_fn)
     _caches[name] = mapping
     return mapping
 
@@ -116,6 +227,89 @@ def clear_caches() -> None:
 
 def cache_sizes() -> dict[str, int]:
     return {name: len(mapping) for name, mapping in _caches.items()}
+
+
+def _estimate_bytes(obj, _depth: int = 0, _seen=None) -> int:
+    """Rough recursive in-memory footprint of one cache value.
+
+    Exact for numpy arrays (``nbytes``); containers and dataclasses
+    recurse a few levels with cycle protection; everything else falls
+    back to ``sys.getsizeof``. An estimate, not an audit — the point is
+    telling a 40 MB skeleton cache from a 4 KB one.
+    """
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes + 96
+    if _depth >= 6:
+        return sys.getsizeof(obj, 64)
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 0
+    total = sys.getsizeof(obj, 64)
+    if isinstance(obj, dict):
+        _seen.add(id(obj))
+        total += sum(
+            _estimate_bytes(k, _depth + 1, _seen)
+            + _estimate_bytes(v, _depth + 1, _seen)
+            for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        _seen.add(id(obj))
+        total += sum(_estimate_bytes(v, _depth + 1, _seen) for v in obj)
+    else:
+        fields = getattr(obj, "__dict__", None)
+        if fields is None:
+            slots = getattr(type(obj), "__slots__", None)
+            if slots:
+                fields = {
+                    s: getattr(obj, s) for s in slots if hasattr(obj, s)
+                }
+        if fields:
+            _seen.add(id(obj))
+            total += sum(
+                _estimate_bytes(v, _depth + 1, _seen)
+                for v in fields.values()
+            )
+    return total
+
+
+_STATS_SAMPLE = 8  # values sampled per cache for the byte estimate
+
+
+def cache_stats() -> dict[str, dict]:
+    """Per-cache entry counts, hit rates, and byte-size estimates.
+
+    Byte sizes are estimated from up to ``_STATS_SAMPLE`` sampled values
+    (extrapolated by entry count). Persistent caches also report their
+    disk-tier counters (``store_hits``/``store_puts``/``store_errors``).
+    """
+    stats: dict[str, dict] = {}
+    for name, mapping in _caches.items():
+        sampled = 0
+        sampled_bytes = 0
+        for value in mapping.values():
+            sampled_bytes += _estimate_bytes(value)
+            sampled += 1
+            if sampled >= _STATS_SAMPLE:
+                break
+        entries = len(mapping)
+        est = int(sampled_bytes / sampled * entries) if sampled else 0
+        entry = {
+            "entries": entries,
+            "hits": counter(f"{name}.hit"),
+            "misses": counter(f"{name}.miss"),
+            "hit_rate": round(hit_rate(name), 4),
+            "est_bytes": est,
+            "persistent": isinstance(mapping, SpillDict),
+        }
+        if entry["persistent"]:
+            entry["store_hits"] = counter(f"store.{name}.hit")
+            entry["store_misses"] = counter(f"store.{name}.miss")
+            entry["store_puts"] = counter(f"store.{name}.put")
+            entry["store_errors"] = counter(f"store.{name}.error")
+        stats[name] = entry
+    return stats
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,8 @@ backends do not.
 """
 
 from repro.replay.engine import group_ordinals, match_messages, replay
+from repro.replay.plan import ReplayPlan, build_plan, get_plan
+from repro.replay.vector import hybrid_walk
 from repro.replay.skeleton import (
     KIND_COMPUTE,
     KIND_RECV,
@@ -26,9 +28,13 @@ __all__ = [
     "ProgramSkeleton",
     "RankSkeleton",
     "ReplayAbstention",
+    "ReplayPlan",
+    "build_plan",
     "build_skeleton",
     "extract_skeletons",
+    "get_plan",
     "group_ordinals",
+    "hybrid_walk",
     "match_messages",
     "replay",
 ]

@@ -23,23 +23,35 @@ Vectorized (numpy array expressions, no simulated-time semantics):
 * **statistics** — per-channel message/byte totals by grouped reduction
   over the send columns (integers: order never matters).
 
-Exact scalar clock walk (the part that must NOT be vectorized): each
-rank's virtual clock is a chain of float additions and cross-rank
-``max`` merges in program order. Float addition is not associative —
-re-associating the chain into batched cumulative sums or closed-form
-``count * cost`` products changes the last ulp on non-dyadic costs like
-the 351.44 µs message send, and the acceptance bar here is *bit*
-equality with the compiled backend, so the walk performs exactly the
-simulator's operations in exactly the simulator's order:
+Exact clock propagation: each rank's virtual clock is a chain of float
+additions and cross-rank ``max`` merges in program order. Float
+addition is not associative — re-associating the chain into batched
+cumulative sums or closed-form ``count * cost`` products changes the
+last ulp on non-dyadic costs like the 351.44 µs message send, and the
+acceptance bar here is *bit* equality with the compiled backend — so
+every propagation engine performs exactly the simulator's operations in
+exactly the simulator's order:
 
     send:  clock += cost;  arrival[i] = clock + latency
     recv:  clock = max(clock, arrival[match]) + recv_overhead
 
-over flat Python lists (``ndarray.tolist()`` — scalar indexing of numpy
-arrays is several times slower than list indexing). Scheduling uses the
-same runnable-queue discipline as the simulator; the result is
-schedule-independent because each rank's chain depends only on its own
-prefix and matched arrival values.
+Two engines implement that contract over a shared precomputed
+:class:`~repro.replay.plan.ReplayPlan` (matching, costs, presummed
+totals — built once per (skeleton, machine)):
+
+* the **vectorized** level-synchronous engine
+  (:mod:`repro.replay.vector`, the default) advances each rank a whole
+  run at a time with ``np.add.accumulate`` chains that replicate the
+  scalar addition order addition for addition;
+* the **scalar oracle** (:func:`_scalar_walk`, PR 6's per-event loop
+  over flat Python lists) — kept verbatim as the differential baseline,
+  selected per call (``engine="scalar"``) or process-wide with
+  ``REPRO_REPLAY_SCALAR=1`` (CI runs the whole differential matrix both
+  ways).
+
+Scheduling uses the same runnable-queue discipline as the simulator in
+both engines; the result is schedule-independent because each rank's
+chain depends only on its own prefix and matched arrival values.
 
 Deadlock surfaces the *same* forensics as the live engine: the shared
 :func:`repro.machine.simulator.deadlock_forensics` builder receives the
@@ -254,8 +266,19 @@ def _message_stats(skeleton: ProgramSkeleton,
 
 def replay(skeleton: ProgramSkeleton,
            machine: MachineParams | None = None,
-           strict: bool = False) -> SimResult:
+           strict: bool = False,
+           engine: str | None = None,
+           info: dict | None = None) -> SimResult:
     """Replay a skeleton's clocks; return a compiled-identical result.
+
+    ``engine`` selects the clock-propagation loop: ``"vector"`` (the
+    run-at-a-time level-synchronous engine in :mod:`repro.replay.
+    vector`), ``"scalar"`` (the PR 6 per-event walk, kept as the
+    differential oracle), or ``None`` — vector unless the
+    ``REPRO_REPLAY_SCALAR=1`` environment variable forces the oracle.
+    Both engines produce bit-identical results; ``info`` (an optional
+    dict) receives ``{"engine": ..., "reason": ...}`` describing what
+    actually ran.
 
     Raises :class:`~repro.errors.DeadlockError` with the live engine's
     forensics when every unfinished rank blocks on a receive, and the
@@ -264,21 +287,115 @@ def replay(skeleton: ProgramSkeleton,
     ``returned`` is ``[None] * nprocs``: replay advances clocks, it
     never computes data values.
     """
+    import os
+
+    from repro.replay.plan import get_plan
+    from repro.replay.vector import hybrid_walk
+
     _require_numpy()
     machine = machine or MachineParams.ipsc2()
     nprocs = skeleton.nprocs
-    latency = machine.latency_us
+    plan = get_plan(skeleton, machine)
 
-    match_rank, match_idx = match_messages(skeleton)
-    costs = _event_costs(skeleton, machine)
+    reason = None
+    if engine is None:
+        if os.environ.get("REPRO_REPLAY_SCALAR", "") not in ("", "0"):
+            engine, reason = "scalar", "REPRO_REPLAY_SCALAR=1"
+        else:
+            engine = "vector"
+    if engine == "vector":
+        clock, cursor = hybrid_walk(plan)
+        busy = list(plan.busy_total)
+        comm = list(plan.comm_total)
+    elif engine == "scalar":
+        clock, cursor, busy, comm = _scalar_walk(skeleton, plan, machine)
+    else:
+        raise ValueError(f"unknown replay engine {engine!r}")
+    if info is not None:
+        info["engine"] = engine
+        info["reason"] = reason
+
+    nevents = plan.n
+    blocked = [p for p in range(nprocs) if cursor[p] < nevents[p]]
+    if blocked:
+        channels = skeleton.channels
+        waiting = {}
+        for p in blocked:
+            i = cursor[p]
+            rs = skeleton.ranks[p]
+            waiting[p] = ChannelKey(
+                int(rs.peer[i]), p, channels[int(rs.chan[i])]
+            )
+        statuses = {
+            p: ("BLOCKED" if cursor[p] < nevents[p] else "DONE")
+            for p in range(nprocs)
+        }
+        undelivered = {
+            tuple(key): count
+            for key, count in _queued_counts(skeleton, cursor).items()
+        }
+        raise deadlock_forensics(waiting, statuses, undelivered)
+
+    # Every rank completed, so the undelivered census and the message
+    # statistics are functions of (skeleton, machine) alone — memoized
+    # on the plan, copied out so callers can't corrupt the memo.
+    if plan.undelivered_memo is None:
+        plan.undelivered_memo = _queued_counts(skeleton, cursor)
+    undelivered = dict(plan.undelivered_memo)
+    if undelivered and strict:
+        leaked = ", ".join(
+            f"{key.src}->{key.dst} {key.channel!r} x{count}"
+            for key, count in sorted(undelivered.items())
+        )
+        raise SimulationError(
+            f"{sum(undelivered.values())} undelivered message(s) at "
+            f"completion (strict mode): {leaked}"
+        )
+
+    if plan.stats_memo is None:
+        plan.stats_memo = _message_stats(skeleton, machine)
+    memo = plan.stats_memo
+    stats = MessageStats(
+        total_messages=memo.total_messages,
+        total_bytes=memo.total_bytes,
+    )
+    stats.per_channel.update(memo.per_channel)
+    stats.per_channel_bytes.update(memo.per_channel_bytes)
+
+    return SimResult(
+        nprocs=nprocs,
+        finish_times_us=clock,
+        busy_times_us=busy,
+        returned=[None] * nprocs,
+        stats=stats,
+        trace=[],
+        cpu_finish_us=list(clock),
+        cpu_busy_us=list(busy),
+        comm_times_us=comm,
+        undelivered=undelivered,
+        traced=False,
+    )
+
+
+def _scalar_walk(skeleton: ProgramSkeleton, plan,
+                 machine: MachineParams):
+    """The PR 6 per-event clock walk — the differential oracle.
+
+    Exactly the live simulator's float operations in exactly its order;
+    the vectorized engine must agree with this walk bit for bit on
+    every observable (its per-run fallback path *is* this algorithm).
+    Returns ``(clock, cursor, busy, comm)`` per rank.
+    """
+    nprocs = skeleton.nprocs
+    latency = machine.latency_us
 
     # Flat Python lists for the scalar walk (scalar ndarray indexing is
     # several times slower than list indexing).
     kind_l = [rs.kind.tolist() for rs in skeleton.ranks]
-    cost_l = [c.tolist() for c in costs]
-    mrank_l = [m.tolist() for m in match_rank]
-    midx_l = [m.tolist() for m in match_idx]
-    nevents = [len(rs) for rs in skeleton.ranks]
+    cost_l = [c.tolist() for c in plan.costs]
+    mrank_l = [m.tolist() for m in plan.match_rank]
+    midx_l = [m.tolist() for m in plan.match_idx]
+    nevents = plan.n
 
     clock = [0.0] * nprocs
     busy = [0.0] * nprocs
@@ -340,47 +457,4 @@ def replay(skeleton: ProgramSkeleton,
         busy[p] = b
         comm[p] = cm
 
-    blocked = [p for p in range(nprocs) if cursor[p] < nevents[p]]
-    if blocked:
-        channels = skeleton.channels
-        waiting = {}
-        for p in blocked:
-            i = cursor[p]
-            rs = skeleton.ranks[p]
-            waiting[p] = ChannelKey(
-                int(rs.peer[i]), p, channels[int(rs.chan[i])]
-            )
-        statuses = {
-            p: ("BLOCKED" if cursor[p] < nevents[p] else "DONE")
-            for p in range(nprocs)
-        }
-        undelivered = {
-            tuple(key): count
-            for key, count in _queued_counts(skeleton, cursor).items()
-        }
-        raise deadlock_forensics(waiting, statuses, undelivered)
-
-    undelivered = _queued_counts(skeleton, cursor)
-    if undelivered and strict:
-        leaked = ", ".join(
-            f"{key.src}->{key.dst} {key.channel!r} x{count}"
-            for key, count in sorted(undelivered.items())
-        )
-        raise SimulationError(
-            f"{sum(undelivered.values())} undelivered message(s) at "
-            f"completion (strict mode): {leaked}"
-        )
-
-    return SimResult(
-        nprocs=nprocs,
-        finish_times_us=clock,
-        busy_times_us=busy,
-        returned=[None] * nprocs,
-        stats=_message_stats(skeleton, machine),
-        trace=[],
-        cpu_finish_us=list(clock),
-        cpu_busy_us=list(busy),
-        comm_times_us=comm,
-        undelivered=undelivered,
-        traced=False,
-    )
+    return clock, cursor, busy, comm

@@ -396,7 +396,40 @@ def build_skeleton(nprocs: int, per_rank_events: list[list[tuple]],
     )
 
 
-_skeleton_cache: dict = perf.register_cache("replay_skeleton", {})
+def _canonical_skeleton_key(key) -> str | None:
+    """Process-independent string form of a skeleton cache key.
+
+    The in-memory key leans on identity hashing (the program object)
+    and an opaque array marker whose repr embeds a memory address —
+    both meaningless across processes. For the disk tier the program is
+    fingerprinted by its pretty-printed source (deterministic: verified
+    stable across hash seeds), the marker becomes a fixed token, and
+    anything whose repr still smells like an address refuses
+    persistence rather than poisoning the store.
+    """
+    program, nprocs, globals_items, args = key
+    try:
+        from repro.spmd import pretty_program
+
+        text = pretty_program(program)
+    except Exception:
+        return None
+    args_c = repr(
+        tuple(
+            tuple("<ARRAY>" if a is _ARRAY else a for a in row)
+            for row in args
+        )
+    )
+    rest = f"{nprocs}|{globals_items!r}|{args_c}"
+    if " at 0x" in rest:  # an object repr leaked an address: not stable
+        return None
+    return f"skeleton|{text}|{rest}"
+
+
+_skeleton_cache: dict = perf.register_cache(
+    "replay_skeleton", {}, persistent=True,
+    key_fn=_canonical_skeleton_key,
+)
 
 
 def extract_skeletons(program, nprocs: int, make_args,

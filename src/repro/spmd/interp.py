@@ -424,11 +424,20 @@ def run_spmd(
             except ReplayAbstention as abstained:
                 fallback_reason = str(abstained)
             else:
+                info: dict = {}
                 with perf.phase("replay"):
-                    sim = replay(skeleton, machine, strict=strict)
-                return SPMDResult(
+                    sim = replay(skeleton, machine, strict=strict, info=info)
+                result = SPMDResult(
                     sim=sim, returned=sim.returned, backend="replay"
                 )
+                if info.get("engine") == "scalar":
+                    # Still the replay backend, but the per-event oracle
+                    # walk ran instead of the vectorized engine; record
+                    # why (e.g. REPRO_REPLAY_SCALAR=1).
+                    result.fallback_reason = (
+                        f"scalar clock walk ({info.get('reason')})"
+                    )
+                return result
         from repro import perf
 
         perf.incr("replay.fallback")

@@ -105,9 +105,16 @@ def test_fallback_increments_perf_counter():
 
 
 def test_replay_produces_no_values():
+    import os
+
     result = _wavefront_run()
     assert result.backend == "replay"
-    assert result.fallback_reason is None
+    if os.environ.get("REPRO_REPLAY_SCALAR", "") not in ("", "0"):
+        assert result.fallback_reason == (
+            "scalar clock walk (REPRO_REPLAY_SCALAR=1)"
+        )
+    else:
+        assert result.fallback_reason is None
     assert result.returned == [None, None]
 
 

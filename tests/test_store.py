@@ -1,0 +1,288 @@
+"""The persistent artifact store and its perf-cache integration.
+
+Covers the store's survival guarantees — corrupted or version-skewed
+entries are *misses*, never crashes; eviction is LRU and bounded — and
+the :class:`repro.perf.SpillDict` tier that gives any registered cache a
+disk fallthrough, including the ``cache_stats()`` accounting the bench
+CLI reports.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro import perf, store
+
+
+@pytest.fixture
+def tmp_store(tmp_path, monkeypatch):
+    """A store handle rooted in this test's private directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    return store.get_store()
+
+
+def digest(text: str) -> str:
+    return store.key_digest(text)
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore basics
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_and_counters(tmp_store):
+    d = digest("k1")
+    puts = perf.counter("store.t.put")
+    hits = perf.counter("store.t.hit")
+    assert tmp_store.put("t", d, {"answer": 42})
+    assert perf.counter("store.t.put") == puts + 1
+    assert tmp_store.get("t", d) == {"answer": 42}
+    assert perf.counter("store.t.hit") == hits + 1
+
+
+def test_absent_entry_is_a_counted_miss(tmp_store):
+    misses = perf.counter("store.t.miss")
+    assert tmp_store.get("t", digest("nope")) is None
+    assert perf.counter("store.t.miss") == misses + 1
+
+
+def test_disabled_store_never_touches_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    handle = store.get_store()
+    assert not handle.enabled
+    assert not handle.put("t", digest("k"), 1)
+    assert handle.get("t", digest("k")) is None
+    assert handle.evict() == 0
+
+
+def test_get_store_reresolves_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    first = store.get_store()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+    second = store.get_store()
+    assert first.root != second.root
+
+
+def test_store_disabled_context_blocks_disk_and_restores(tmp_store):
+    digest_k = digest("ctx-key")
+    assert tmp_store.put("t", digest_k, {"v": 1})
+    with store.store_disabled():
+        assert not store.get_store().enabled
+        assert store.get_store().get("t", digest_k) is None
+    assert store.get_store().get("t", digest_k) == {"v": 1}
+
+
+def test_unpicklable_value_is_skipped_not_raised(tmp_store):
+    before = perf.counter("store.t.unpicklable")
+    assert not tmp_store.put("t", digest("k"), lambda: None)
+    assert perf.counter("store.t.unpicklable") == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Robustness: corruption and version skew are misses, not crashes
+# ---------------------------------------------------------------------------
+
+
+def test_corrupted_entry_is_a_miss_and_gets_unlinked(tmp_store):
+    d = digest("k")
+    assert tmp_store.put("t", d, [1, 2, 3])
+    path = tmp_store._path("t", d)
+    path.write_bytes(b"\x80\x04 this is not a pickle")
+    errors = perf.counter("store.t.error")
+    assert tmp_store.get("t", d) is None
+    assert perf.counter("store.t.error") == errors + 1
+    assert not path.exists()  # poisoned entry swept
+    # ... and the *next* read is a plain miss, not another error.
+    assert tmp_store.get("t", d) is None
+    assert perf.counter("store.t.error") == errors + 1
+
+
+def test_truncated_entry_is_a_miss(tmp_store):
+    d = digest("k")
+    assert tmp_store.put("t", d, list(range(1000)))
+    path = tmp_store._path("t", d)
+    path.write_bytes(path.read_bytes()[:20])
+    assert tmp_store.get("t", d) is None
+    assert not path.exists()
+
+
+def test_payload_format_version_mismatch_is_a_miss(tmp_store):
+    d = digest("k")
+    path = tmp_store._path("t", d)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps(
+        {"format": store.FORMAT_VERSION + 1, "key": d, "value": "stale"}
+    ))
+    assert tmp_store.get("t", d) is None
+    assert not path.exists()
+
+
+def test_format_version_bump_orphans_old_entries(tmp_store, monkeypatch):
+    d = digest("k")
+    assert tmp_store.put("t", d, "old-format")
+    monkeypatch.setattr(store, "FORMAT_VERSION", store.FORMAT_VERSION + 1)
+    # The versioned path no longer exists: a plain miss, no error.
+    errors = perf.counter("store.t.error")
+    assert tmp_store.get("t", d) is None
+    assert perf.counter("store.t.error") == errors
+
+
+def test_key_collision_header_check(tmp_store):
+    # An entry whose header key disagrees with its path digest (e.g. a
+    # buggy writer) must not be served under the wrong key.
+    d = digest("k")
+    path = tmp_store._path("t", d)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps(
+        {"format": store.FORMAT_VERSION, "key": digest("other"), "value": 1}
+    ))
+    assert tmp_store.get("t", d) is None
+
+
+# ---------------------------------------------------------------------------
+# Eviction
+# ---------------------------------------------------------------------------
+
+
+def test_eviction_is_lru_and_bounded(tmp_path):
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=1 << 40)
+    payload = b"x" * 2000
+    digests = [digest(f"k{i}") for i in range(6)]
+    for i, d in enumerate(digests):
+        assert handle.put("t", d, payload)
+        path = handle._path("t", d)
+        os.utime(path, (1_000_000 + i, 1_000_000 + i))  # deterministic LRU
+    total = handle.size_bytes()
+    per_entry = total // len(digests)
+    removed = handle.evict(target_bytes=per_entry * 2)
+    assert removed == 4
+    assert handle.size_bytes() <= per_entry * 2
+    # The most recently used entries survive.
+    assert handle.get("t", digests[-1]) == payload
+    assert handle.get("t", digests[-2]) == payload
+    assert handle.get("t", digests[0]) is None
+
+
+def test_put_triggers_opportunistic_eviction(tmp_path, monkeypatch):
+    monkeypatch.setattr(store, "_EVICT_EVERY", 1)
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=4000)
+    for i in range(8):
+        handle.put("t", digest(f"k{i}"), b"y" * 1500)
+    assert handle.size_bytes() <= 4000
+
+
+def test_evict_sweeps_stale_tmp_files(tmp_path):
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=1 << 40)
+    handle.put("t", digest("k"), 1)
+    shard = handle._path("t", digest("k")).parent
+    stale = shard / ".tmp-stale.pkl"
+    stale.write_bytes(b"partial")
+    os.utime(stale, (1, 1))
+    handle.evict()
+    assert not stale.exists()
+
+
+# ---------------------------------------------------------------------------
+# SpillDict: the perf-cache disk tier
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def spill(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    name = "t_spill"
+    mapping = perf.register_cache(
+        name, {}, persistent=True,
+        key_fn=lambda key: None if key == "volatile" else f"t|{key}",
+    )
+    yield mapping
+    perf._caches.pop(name, None)
+
+
+def test_spilldict_clear_is_memory_only(spill):
+    spill["k"] = {"v": 1}
+    spill.clear()
+    assert len(spill) == 0
+    hits = perf.counter("store.t_spill.hit")
+    assert spill["k"] == {"v": 1}  # reloaded from disk
+    assert perf.counter("store.t_spill.hit") == hits + 1
+    assert len(spill) == 1  # loaded back into the memory tier
+
+
+def test_spilldict_unpersistable_key_stays_memory_only(spill):
+    spill["volatile"] = 123
+    assert spill["volatile"] == 123
+    spill.clear()
+    with pytest.raises(KeyError):
+        spill["volatile"]
+
+
+def test_spilldict_respects_caches_disabled(spill):
+    spill["k"] = 1
+    spill.clear()
+    with perf.caches_disabled():
+        assert spill.get("k") is None  # no disk fallthrough while off
+    assert spill.get("k") == 1
+
+
+def test_spilldict_contains_and_delete(spill):
+    spill["k"] = 1
+    assert "k" in spill
+    del spill["k"]
+    # Deletion drops the memory tier; the disk tier still answers (the
+    # store is shared state, deletion of shared artifacts is eviction's
+    # job) — documented behaviour, pinned here.
+    assert spill.get("k") == 1
+
+
+def test_register_cache_requires_key_fn_for_persistence():
+    with pytest.raises(ValueError):
+        perf.register_cache("t_bad", {}, persistent=True)
+    perf._caches.pop("t_bad", None)
+
+
+# ---------------------------------------------------------------------------
+# cache_stats: entries, hit rates, byte estimates, store counters
+# ---------------------------------------------------------------------------
+
+
+def test_cache_stats_reports_persistent_flag_and_store_counters(spill):
+    spill["k"] = {"v": 1}
+    spill.clear()
+    assert spill["k"] == {"v": 1}  # one store hit
+    stats = perf.cache_stats()["t_spill"]
+    assert stats["persistent"] is True
+    assert stats["entries"] == 1
+    assert stats["store_hits"] >= 1
+    assert stats["store_puts"] >= 1
+    assert stats["est_bytes"] > 0
+
+
+def test_cache_stats_plain_dict_is_not_persistent():
+    name = "t_plain"
+    mapping = perf.register_cache(name, {})
+    try:
+        mapping["a"] = [1.0] * 100
+        mapping["b"] = [2.0] * 100
+        stats = perf.cache_stats()[name]
+        assert stats["persistent"] is False
+        assert "store_hits" not in stats
+        assert stats["entries"] == 2
+        assert stats["est_bytes"] > 0
+    finally:
+        perf._caches.pop(name, None)
+
+
+def test_estimate_bytes_exact_for_numpy_arrays():
+    np = pytest.importorskip("numpy")
+    arr = np.zeros(1024, dtype=np.float64)
+    est = perf._estimate_bytes(arr)
+    assert est >= arr.nbytes
+    assert est <= arr.nbytes + 256
+
+
+def test_estimate_bytes_recurses_containers_with_cycles():
+    inner: list = [1, 2, 3]
+    inner.append(inner)  # cycle must not recurse forever
+    assert perf._estimate_bytes({"k": inner}) > 0
