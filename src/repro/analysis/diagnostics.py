@@ -120,6 +120,16 @@ class Report:
     def by_code(self, code: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
 
+    def to_json(self, **extra) -> dict:
+        """JSON-safe payload; the dict :func:`render_json` produces.
+
+        The shape every machine consumer shares — ``bench verify
+        --json`` dumps and the control plane's artifact records
+        (:mod:`repro.service`) — so a diagnostics field added there is
+        visible on both surfaces at once.
+        """
+        return render_json(self, **extra)
+
     def summary(self) -> str:
         if not self.diagnostics:
             return "clean: no diagnostics"

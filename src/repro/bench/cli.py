@@ -17,6 +17,16 @@ Usage::
     python -m repro.bench verify [--app gauss_seidel] [--dist wrapped_cols]
                                  [--strategy optIII] [--n 48] [--nprocs 8]
                                  [--json PATH]
+    python -m repro.bench serve [--host 127.0.0.1] [--port 8000]
+                                [--rate 10] [--burst 20] [--sync]
+                                [--no-tune]
+
+The ``serve`` command starts the decomposition-as-a-service control
+plane (:mod:`repro.service`): a long-running HTTP server that turns
+``POST /v1/programs`` submissions into content-addressed artifacts
+(compiled-IR summary, verify report, tune ranking) persisted in the
+shared artifact store, with keyset-paginated listings, health/stats
+routes, and token-bucket rate limiting.
 
 The ``verify`` command runs the static communication-safety verifier
 (:mod:`repro.analysis`) on one configuration without simulating it, and
@@ -467,36 +477,6 @@ def _tune_app(name: str):
     return app.SOURCE_WRAPPED, "jacobi_step", app.reference_rows
 
 
-def _channel_totals(counts: dict) -> dict:
-    return {f"{k.src}->{k.dst}:{k.channel}": v for k, v in counts.items()}
-
-
-def _candidate_payload(cand) -> dict:
-    out = {
-        "dist": cand.config.dist,
-        "strategy": cand.config.strategy,
-        "nprocs": cand.config.nprocs,
-        "blksize": cand.config.blksize,
-        "label": cand.config.label,
-        "predicted_us": cand.predicted_us,
-        "measured_us": cand.measured_us,
-        "error": cand.error,
-    }
-    if cand.predicted is not None:
-        out["predicted"] = {
-            "makespan_us": cand.predicted.makespan_us,
-            "total_messages": cand.predicted.total_messages,
-            "total_bytes": cand.predicted.total_bytes,
-            "per_channel": _channel_totals(cand.predicted.per_channel),
-            "per_channel_bytes": _channel_totals(
-                cand.predicted.per_channel_bytes
-            ),
-        }
-    if cand.measured is not None:
-        out["measured"] = asdict(cand.measured)
-    return out
-
-
 def cmd_tune(args) -> None:
     from repro.errors import TuneError
     from repro.tune import default_space, tune
@@ -576,22 +556,11 @@ def cmd_tune(args) -> None:
         print("best: no configuration could be confirmed")
     _print_profile(args)
     if args.json:
-        payload = {
-            "command": "tune",
-            "app": args.app,
-            "n": args.n,
-            "backend": args.backend,
-            "space_size": report.space_size,
-            "simulations": report.simulations,
-            "spearman": rho,
-            "best": (
-                _candidate_payload(report.best)
-                if report.best is not None else None
-            ),
-            "candidates": [
-                _candidate_payload(c) for c in report.candidates
-            ],
-        }
+        from repro.tune.serialize import report_payload
+
+        payload = report_payload(
+            report, command="tune", app=args.app, backend=args.backend,
+        )
         if args.profile:
             payload["profile"] = perf.snapshot()
         _dump_json(payload, args.json)
@@ -663,16 +632,55 @@ def cmd_verify(args) -> int:
     return 1 if report.diagnostics else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the decomposition service until interrupted."""
+    import logging
+
+    from repro.service import ServiceApp, ServiceConfig, make_server
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServiceConfig(
+        rate_capacity=args.burst,
+        rate_per_s=args.rate,
+        sync=args.sync,
+        tune_enabled=not args.no_tune,
+    )
+    app = ServiceApp(config)
+    server = make_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(rate {args.rate}/s, burst {args.burst}"
+        f"{', sync builds' if args.sync else ''})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def _validate_args(args) -> None:
     """Reject nonsense numeric arguments with a one-line parser error
     (exit code 2) instead of a traceback from deep inside the harness."""
     err = args.parser.error
-    if args.n < 1:
+    if getattr(args, "n", 1) < 1:
         err(f"--n must be a positive grid size, got {args.n}")
-    if args.nprocs < 1:
+    if getattr(args, "nprocs", 1) < 1:
         err(f"--nprocs must be a positive ring size, got {args.nprocs}")
-    if args.blksize < 1:
+    if getattr(args, "blksize", 1) < 1:
         err(f"--blksize must be a positive block size, got {args.blksize}")
+    if getattr(args, "rate", 1) <= 0 or getattr(args, "burst", 1) <= 0:
+        err("--rate and --burst must be positive")
+    if getattr(args, "port", 0) < 0 or getattr(args, "port", 0) > 65535:
+        err(f"--port must be in [0, 65535], got {args.port}")
     for opt in ("procs", "blksizes"):
         text = getattr(args, opt, None)
         if text is None:
@@ -803,6 +811,32 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="B1,B2,...",
                 help="strip-mining block sizes to search (Optimized III)",
             )
+
+    cmd = sub.add_parser(
+        "serve", help="run the decomposition-as-a-service control plane"
+    )
+    cmd.set_defaults(fn=cmd_serve, parser=cmd)
+    cmd.add_argument("--host", type=str, default="127.0.0.1")
+    cmd.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (0 picks a free one, printed at startup)",
+    )
+    cmd.add_argument(
+        "--rate", type=float, default=10.0, metavar="R",
+        help="steady-state requests/second allowed per client",
+    )
+    cmd.add_argument(
+        "--burst", type=float, default=20.0, metavar="B",
+        help="token-bucket burst capacity per client",
+    )
+    cmd.add_argument(
+        "--sync", action="store_true",
+        help="build artifacts inside the POST instead of a worker thread",
+    )
+    cmd.add_argument(
+        "--no-tune", action="store_true",
+        help="never attach tune rankings to artifacts",
+    )
 
     args = parser.parse_args(argv)
     _validate_args(args)

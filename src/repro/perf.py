@@ -102,6 +102,18 @@ class SpillDict(MutableMapping):
     and ``[key] = value`` mirrors the entry to disk. ``clear()`` empties
     only the in-memory tier — that is what lets a benchmark simulate a
     fresh process against a primed store.
+
+    A cached ``None`` is a real value, not a miss: the disk tier is
+    consulted through :meth:`ArtifactStore.fetch`'s ``(found, value)``
+    protocol, so ``None``-valued entries round-trip instead of being
+    recomputed (and re-``put``) forever.
+
+    Removal (``pop``/``popitem``/``del``) acts on the **memory tier
+    only** and never consults the disk store: the store is shared
+    fleet state whose lifecycle belongs to eviction, and resurrecting
+    an entry from disk just to hand it to ``pop`` would turn a local
+    drop into a cross-process read. ``pop(key)`` on a key that is only
+    on disk raises ``KeyError``.
     """
 
     def __init__(self, name: str,
@@ -134,8 +146,8 @@ class SpillDict(MutableMapping):
             if handle.enabled:
                 digest = self._digest(key)
                 if digest is not None:
-                    value = handle.get(self.name, digest)
-                    if value is not None:
+                    found, value = handle.fetch(self.name, digest)
+                    if found:
                         self._mem[key] = value
                         return value
         return default
@@ -162,6 +174,16 @@ class SpillDict(MutableMapping):
 
     def __delitem__(self, key) -> None:
         del self._mem[key]
+
+    def pop(self, key, *default):
+        """Remove ``key`` from the memory tier (disk never consulted)."""
+        if default:
+            return self._mem.pop(key, default[0])
+        return self._mem.pop(key)
+
+    def popitem(self):
+        """Remove an arbitrary memory-tier entry (disk never consulted)."""
+        return self._mem.popitem()
 
     def __iter__(self):
         return iter(self._mem)

@@ -1,0 +1,107 @@
+"""Token-bucket rate limiting for the control plane.
+
+One bucket per client: ``capacity`` tokens refill continuously at
+``rate`` tokens/second; a request costs one token; an empty bucket
+means 429 with a ``Retry-After`` derived from the deficit. The limiter
+is deliberately process-local — replicas each enforce their own budget,
+which is the standard trade for not putting a coordination service in
+the request path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TokenBucket:
+    """A single client's budget. Thread-safe; injectable clock for tests."""
+
+    def __init__(self, capacity: float, rate: float, clock=time.monotonic):
+        if capacity <= 0 or rate <= 0:
+            raise ValueError("capacity and rate must be positive")
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0) -> "tuple[bool, float]":
+        """``(allowed, retry_after_s)``; ``retry_after_s`` is 0 on allow."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            return False, (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class RateLimiter:
+    """Per-client token buckets with bounded client tracking.
+
+    Client keys are whatever the transport hands us (the peer address
+    for the stdlib server). The table is capped so an address-spinning
+    client cannot grow it without bound: past ``max_clients`` the oldest
+    untouched bucket is dropped — a dropped client starts fresh with a
+    full bucket, which only ever errs in the client's favour.
+    """
+
+    def __init__(self, capacity: float, rate: float,
+                 clock=time.monotonic, max_clients: int = 4096):
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self._clock = clock
+        self._max_clients = max_clients
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.denied = 0
+        self.allowed = 0
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self._max_clients:
+                    oldest = next(iter(self._buckets))
+                    del self._buckets[oldest]
+                bucket = TokenBucket(
+                    self.capacity, self.rate, clock=self._clock
+                )
+                self._buckets[client] = bucket
+            else:
+                # Re-insert to keep the table in LRU order.
+                del self._buckets[client]
+                self._buckets[client] = bucket
+            return bucket
+
+    def check(self, client: str, cost: float = 1.0) -> "tuple[bool, float]":
+        allowed, retry_after = self._bucket(client).try_acquire(cost)
+        if allowed:
+            self.allowed += 1
+        else:
+            self.denied += 1
+        return allowed, retry_after
+
+    def stats(self) -> dict:
+        with self._lock:
+            clients = len(self._buckets)
+        return {
+            "capacity": self.capacity,
+            "rate_per_s": self.rate,
+            "clients": clients,
+            "allowed": self.allowed,
+            "denied": self.denied,
+        }

@@ -52,7 +52,12 @@ from repro import perf
 FORMAT_VERSION = 1
 
 _DEFAULT_MAX_BYTES = 4 << 30
-_EVICT_EVERY = 32  # puts between opportunistic eviction scans
+_EVICT_EVERY = 32  # put-credits between opportunistic eviction scans
+#: How many put-credits a single "large" blob (> max_bytes // 64) burns.
+#: Large blobs can blow the cap in few puts, so they advance the
+#: eviction schedule faster — but never one-scan-per-put, which would
+#: make a stream of large artifacts quadratic in store size.
+_LARGE_BLOB_WEIGHT = 8
 
 
 def key_digest(canonical: str) -> str:
@@ -102,14 +107,14 @@ class ArtifactStore:
 
     # -- reads --------------------------------------------------------
 
-    def get(self, cache: str, digest: str):
-        """The stored value, or ``None`` on any kind of miss.
+    def fetch(self, cache: str, digest: str) -> "tuple[bool, object]":
+        """``(found, value)`` — distinguishes a stored ``None`` from a miss.
 
         Never raises: unreadable or corrupt entries are unlinked and
         counted under ``store.<cache>.error``.
         """
         if self.root is None:
-            return None
+            return False, None
         path = self._path(cache, digest)
         try:
             with open(path, "rb") as fh:
@@ -122,20 +127,29 @@ class ArtifactStore:
                 raise ValueError("payload header mismatch")
         except FileNotFoundError:
             perf.incr(f"store.{cache}.miss")
-            return None
+            return False, None
         except Exception:
             perf.incr(f"store.{cache}.error")
             try:
                 os.unlink(path)
             except OSError:
                 pass
-            return None
+            return False, None
         perf.incr(f"store.{cache}.hit")
         try:  # LRU touch; best-effort (read-only stores still work)
             os.utime(path, None)
         except OSError:
             pass
-        return payload["value"]
+        return True, payload["value"]
+
+    def get(self, cache: str, digest: str):
+        """The stored value, or ``None`` on any kind of miss.
+
+        Callers that must tell a legitimately stored ``None`` apart from
+        a miss (the :class:`repro.perf.SpillDict` tier does) use
+        :meth:`fetch` instead.
+        """
+        return self.fetch(cache, digest)[1]
 
     # -- writes -------------------------------------------------------
 
@@ -176,11 +190,10 @@ class ArtifactStore:
             perf.incr(f"store.{cache}.write_error")
             return False
         perf.incr(f"store.{cache}.put")
-        self._puts_since_evict += 1
-        if (
-            len(blob) > self.max_bytes // 64
-            or self._puts_since_evict >= _EVICT_EVERY
-        ):
+        self._puts_since_evict += (
+            _LARGE_BLOB_WEIGHT if len(blob) > self.max_bytes // 64 else 1
+        )
+        if self._puts_since_evict >= _EVICT_EVERY:
             self._puts_since_evict = 0
             self.evict()
         return True
@@ -211,6 +224,31 @@ class ArtifactStore:
     def size_bytes(self) -> int:
         return sum(stat.st_size for _, stat in self._entries())
 
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def digests(self, cache: str) -> "list[str]":
+        """Sorted digests currently stored under ``cache``.
+
+        A directory scan, not an index — callers (the service's
+        keyset-paginated listings) treat it as a best-effort snapshot:
+        concurrent writers and evictors may add or drop entries while it
+        runs.
+        """
+        if self.root is None:
+            return []
+        cache_dir = self.root / f"v{FORMAT_VERSION}" / cache
+        if not cache_dir.is_dir():
+            return []
+        found: list[str] = []
+        for shard in cache_dir.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.iterdir():
+                if entry.suffix == ".pkl" and not entry.name.startswith("."):
+                    found.append(entry.stem)
+        return sorted(found)
+
     def evict(self, target_bytes: int | None = None) -> int:
         """Drop least-recently-used entries until under the cap.
 
@@ -219,6 +257,7 @@ class ArtifactStore:
         """
         if self.root is None:
             return 0
+        perf.incr("store.evict_scan")
         cap = self.max_bytes if target_bytes is None else target_bytes
         entries = sorted(self._entries(), key=lambda e: e[1].st_mtime)
         total = sum(stat.st_size for _, stat in entries)
@@ -251,7 +290,7 @@ class ArtifactStore:
 
 
 _store: ArtifactStore | None = None
-_store_root_env: str | None = None
+_store_env: "tuple[str | None, str | None] | None" = None
 
 
 @contextlib.contextmanager
@@ -277,13 +316,17 @@ def store_disabled():
 def get_store() -> ArtifactStore:
     """The process-wide store handle.
 
-    Re-resolved whenever ``REPRO_CACHE_DIR`` changes, so tests (and
-    callers) can repoint or disable the store by mutating the
-    environment — no module reload needed.
+    Re-resolved whenever ``REPRO_CACHE_DIR`` *or*
+    ``REPRO_CACHE_MAX_BYTES`` changes, so tests (and callers) can
+    repoint, re-cap, or disable the store by mutating the environment —
+    no module reload needed.
     """
-    global _store, _store_root_env
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if _store is None or env != _store_root_env:
+    global _store, _store_env
+    env = (
+        os.environ.get("REPRO_CACHE_DIR"),
+        os.environ.get("REPRO_CACHE_MAX_BYTES"),
+    )
+    if _store is None or env != _store_env:
         _store = ArtifactStore()
-        _store_root_env = env
+        _store_env = env
     return _store

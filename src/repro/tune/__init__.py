@@ -17,6 +17,7 @@ This subsystem automates the choice:
 from repro.tune.model import Prediction, predict
 from repro.tune.space import TuneConfig, default_space, retarget_source
 from repro.tune.search import Candidate, TuneReport, spearman, tune
+from repro.tune.serialize import candidate_payload, report_payload
 
 __all__ = [
     "Prediction",
@@ -28,4 +29,6 @@ __all__ = [
     "TuneReport",
     "spearman",
     "tune",
+    "candidate_payload",
+    "report_payload",
 ]

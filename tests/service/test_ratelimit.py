@@ -1,0 +1,84 @@
+"""Token-bucket rate limiter: deterministic via an injected clock."""
+
+import pytest
+
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_burst_then_deny():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=3, rate=1.0, clock=clock)
+    for _ in range(3):
+        allowed, retry = bucket.try_acquire()
+        assert allowed and retry == 0.0
+    allowed, retry = bucket.try_acquire()
+    assert not allowed
+    assert retry == pytest.approx(1.0)  # one token deficit at 1 tok/s
+
+
+def test_refill_is_continuous_and_capped():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=2, rate=2.0, clock=clock)
+    assert bucket.try_acquire()[0]
+    assert bucket.try_acquire()[0]
+    assert not bucket.try_acquire()[0]
+    clock.advance(0.25)  # half a token: still not enough
+    assert not bucket.try_acquire()[0]
+    clock.advance(0.25)
+    assert bucket.try_acquire()[0]
+    clock.advance(100.0)  # refill never exceeds capacity
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+def test_retry_after_shrinks_as_tokens_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=1, rate=0.5, clock=clock)
+    assert bucket.try_acquire()[0]
+    _, retry_full = bucket.try_acquire()
+    clock.advance(1.0)
+    _, retry_later = bucket.try_acquire()
+    assert retry_later < retry_full
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, rate=1)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, rate=-1)
+
+
+def test_limiter_isolates_clients():
+    clock = FakeClock()
+    limiter = RateLimiter(capacity=1, rate=1.0, clock=clock)
+    assert limiter.check("alice")[0]
+    assert not limiter.check("alice")[0]
+    assert limiter.check("bob")[0]  # bob has his own bucket
+    stats = limiter.stats()
+    assert stats["clients"] == 2
+    assert stats["allowed"] == 2
+    assert stats["denied"] == 1
+
+
+def test_limiter_caps_tracked_clients_lru():
+    clock = FakeClock()
+    limiter = RateLimiter(capacity=1, rate=1.0, clock=clock, max_clients=2)
+    assert limiter.check("a")[0]
+    assert limiter.check("b")[0]
+    assert not limiter.check("a")[0]  # touch a: b becomes the LRU entry
+    assert limiter.check("c")[0]  # evicts b
+    # a is still tracked (and still empty); b starts over with a full
+    # bucket — dropping state only ever errs in the client's favour.
+    assert not limiter.check("a")[0]
+    assert limiter.check("b")[0]
+    assert limiter.stats()["clients"] == 2

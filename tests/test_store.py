@@ -9,6 +9,7 @@ CLI reports.
 
 import os
 import pickle
+import threading
 
 import pytest
 
@@ -62,6 +63,28 @@ def test_get_store_reresolves_environment(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
     second = store.get_store()
     assert first.root != second.root
+
+
+def test_get_store_reresolves_max_bytes(tmp_path, monkeypatch):
+    # Regression: the staleness check used to watch only REPRO_CACHE_DIR,
+    # so re-capping the store via the environment silently kept the old
+    # cap on the process-wide handle.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1000")
+    assert store.get_store().max_bytes == 1000
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "2000")
+    assert store.get_store().max_bytes == 2000
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+    assert store.get_store().max_bytes == store._DEFAULT_MAX_BYTES
+
+
+def test_fetch_distinguishes_stored_none_from_miss(tmp_store):
+    d = digest("none-key")
+    assert tmp_store.fetch("t", d) == (False, None)
+    assert tmp_store.put("t", d, None)
+    assert tmp_store.fetch("t", d) == (True, None)
+    # get() keeps its historical None-on-miss contract.
+    assert tmp_store.get("t", d) is None
 
 
 def test_store_disabled_context_blocks_disk_and_restores(tmp_store):
@@ -172,6 +195,83 @@ def test_put_triggers_opportunistic_eviction(tmp_path, monkeypatch):
     assert handle.size_bytes() <= 4000
 
 
+def test_large_blob_eviction_is_rate_limited(tmp_path):
+    # Regression: once a single blob exceeded max_bytes // 64, *every*
+    # put ran a full-store eviction scan — quadratic for workloads whose
+    # artifacts are all "large" (replay skeletons routinely are). Large
+    # blobs now burn _LARGE_BLOB_WEIGHT put-credits instead, so a stream
+    # of them scans every _EVICT_EVERY // _LARGE_BLOB_WEIGHT puts.
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=64 * 64)
+    blob = b"z" * 200  # > max_bytes // 64 == 64: a "large" blob
+    puts = 12
+    scans_before = perf.counter("store.evict_scan")
+    for i in range(puts):
+        assert handle.put("t", digest(f"big{i}"), blob)
+    scans = perf.counter("store.evict_scan") - scans_before
+    expected = puts * store._LARGE_BLOB_WEIGHT // store._EVICT_EVERY
+    assert scans == expected
+    assert scans < puts  # the old behaviour: one scan per put
+
+
+def test_small_blob_eviction_cadence_unchanged(tmp_path):
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=1 << 30)
+    scans_before = perf.counter("store.evict_scan")
+    for i in range(store._EVICT_EVERY * 2):
+        assert handle.put("t", digest(f"small{i}"), b"x")
+    assert perf.counter("store.evict_scan") - scans_before == 2
+
+
+def test_concurrent_writers_and_evictors_never_break_readers(tmp_path):
+    # Two writer threads race put() on the same digest while an evictor
+    # repeatedly unlinks everything and a reader polls. The invariants
+    # pinned: reads never raise (atomic os.replace means a reader sees a
+    # whole old value, a whole new value, or a clean miss) and once the
+    # dust settles the last writer's value is served.
+    handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=1 << 30)
+    d = digest("contended")
+    rounds = 150
+    valid = {("w", i) for i in range(rounds)} | {("v", i) for i in range(rounds)}
+    failures: list = []
+    stop = threading.Event()
+
+    def writer(tag):
+        for i in range(rounds):
+            handle.put("t", d, (tag, i))
+
+    def evictor():
+        while not stop.is_set():
+            handle.evict(target_bytes=0)
+
+    def reader():
+        while not stop.is_set():
+            try:
+                found, value = handle.fetch("t", d)
+            except Exception as exc:  # the invariant under test
+                failures.append(exc)
+                return
+            if found and value not in valid:
+                failures.append(ValueError(f"torn read: {value!r}"))
+                return
+
+    threads = [
+        threading.Thread(target=writer, args=("w",)),
+        threading.Thread(target=writer, args=("v",)),
+        threading.Thread(target=evictor),
+        threading.Thread(target=reader),
+    ]
+    for t in threads:
+        t.start()
+    threads[0].join()
+    threads[1].join()
+    stop.set()
+    for t in threads[2:]:
+        t.join()
+    assert not failures
+    # Last writer wins: with racing over, one more put is authoritative.
+    handle.put("t", d, ("final", 0))
+    assert handle.fetch("t", d) == (True, ("final", 0))
+
+
 def test_evict_sweeps_stale_tmp_files(tmp_path):
     handle = store.ArtifactStore(root=tmp_path / "s", max_bytes=1 << 40)
     handle.put("t", digest("k"), 1)
@@ -234,6 +334,46 @@ def test_spilldict_contains_and_delete(spill):
     # store is shared state, deletion of shared artifacts is eviction's
     # job) — documented behaviour, pinned here.
     assert spill.get("k") == 1
+
+
+def test_spilldict_none_value_roundtrips_through_disk_tier(spill):
+    # Regression: ArtifactStore.get returned None for both "stored None"
+    # and "miss", so a legitimately cached None was re-fetched (and
+    # re-put) forever. The disk tier now answers through fetch()'s
+    # (found, value) protocol.
+    spill["k"] = None
+    puts = perf.counter("store.t_spill.put")
+    spill.clear()  # memory gone; disk must still answer
+    assert "k" in spill
+    assert spill.get("k", "MISS") is None
+    assert spill["k"] is None
+    # Loading it back is a store hit, not a rebuild-and-re-put.
+    assert perf.counter("store.t_spill.put") == puts
+
+
+def test_spilldict_pop_is_memory_tier_only(spill):
+    spill["k"] = {"v": 1}
+    assert spill.pop("k") == {"v": 1}
+    assert "k" not in spill._mem
+    # The disk copy survives (removal never reaches the shared store)
+    # but pop must not resurrect it: a key that is only on disk is
+    # absent as far as pop is concerned.
+    hits = perf.counter("store.t_spill.hit")
+    with pytest.raises(KeyError):
+        spill.pop("k")
+    assert spill.pop("k", "fallback") == "fallback"
+    assert perf.counter("store.t_spill.hit") == hits  # disk never consulted
+    # ...while lookups still fall through to the store as ever.
+    assert spill["k"] == {"v": 1}
+
+
+def test_spilldict_popitem_is_memory_tier_only(spill):
+    spill["a"] = 1
+    spill.clear()  # "a" now exists only on disk
+    spill["b"] = 2
+    assert spill.popitem() == ("b", 2)
+    with pytest.raises(KeyError):
+        spill.popitem()  # memory empty; the disk-tier "a" must not leak
 
 
 def test_register_cache_requires_key_fn_for_persistence():
