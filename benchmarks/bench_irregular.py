@@ -1,0 +1,90 @@
+"""Irregular-workload acceptance benchmark (``BENCH_irregular.json``).
+
+Thin driver over :mod:`repro.bench.irregular`, which compiles the three
+data-dependent apps — sparse matvec over COO triples, histogram,
+unstructured-mesh relaxation — under ``strategy="inspector"`` and runs
+each cold (schedules built in-simulation) and warm (schedules injected
+as preplans), on both execution backends, enforcing:
+
+* every run **bit-identical** to the app's plain-Python reference, and
+  interp/compiled agreeing exactly on simulated time, message count,
+  and the built schedules themselves;
+* **exact schedule reuse** — warm runs send zero inspector request
+  messages and exactly ``site executions x schedule size`` data-phase
+  messages; cold runs pay precisely the ``sites x S x (S - 1)`` request
+  round on top, and must be slower than warm.
+
+Run as a script (``python benchmarks/bench_irregular.py``) to refresh
+``BENCH_irregular.json``; exits nonzero if a gate fails. Also collected
+by pytest with the quick grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.irregular import run_benchmark, run_point
+
+__all__ = ["run_benchmark", "run_point", "main"]
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (quick grid — every gate is exact, so small runs
+# check exactly what the committed full-scale numbers do)
+# ---------------------------------------------------------------------------
+
+
+def test_irregular_spmv_small():
+    point = run_point("spmv", 32, 4, steps=2)
+    assert point["warm_messages"] < point["cold_messages"]
+
+
+def test_irregular_histogram_small():
+    point = run_point("histogram", 128, 4, bins=16)
+    assert point["warm_messages"] < point["cold_messages"]
+
+
+def test_irregular_mesh_small_misaligned():
+    # S=3 misaligns the x/nbr block boundaries, so affine coerces ride
+    # along with the inspector traffic — the gates must still hold.
+    point = run_point("mesh", 32, 3, steps=2)
+    assert point["warm_messages"] < point["cold_messages"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid and ring (CI smoke)")
+    parser.add_argument("--json", default="BENCH_irregular.json",
+                        metavar="PATH",
+                        help="output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = run_benchmark(quick=args.quick)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    else:
+        Path(args.json).write_text(text + "\n")
+        print(text)
+    for point in payload["points"]:
+        print(
+            f"OK: {point['app']} N={point['n']} S={point['nprocs']}: "
+            f"{point['sites']} sites, schedule {point['schedule_messages']} "
+            f"msgs x {point['site_executions']} executions; cold "
+            f"{point['cold_messages']} msgs / {point['cold_time_us']:.0f} us, "
+            f"warm {point['warm_messages']} msgs / "
+            f"{point['warm_time_us']:.0f} us"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

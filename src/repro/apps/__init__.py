@@ -5,4 +5,12 @@
 * :mod:`repro.apps.simple` — the three-scalar program of Figure 4.
 * :mod:`repro.apps.jacobi` — Jacobi relaxation (all-old operands).
 * :mod:`repro.apps.matmul` — distributed matrix multiply.
+
+Irregular workloads (``strategy="inspector"``):
+
+* :mod:`repro.apps.spmv` — sparse matrix-vector product over COO
+  triples (scatter + gather in one statement).
+* :mod:`repro.apps.histogram` — scatter with collisions.
+* :mod:`repro.apps.mesh` — gather through an unstructured neighbour
+  table, reused across time steps.
 """

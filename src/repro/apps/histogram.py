@@ -1,0 +1,62 @@
+"""Histogram: pure scatter with collisions.
+
+Every input element increments one of ``M`` bins chosen by its value —
+the textbook data-dependent scatter. Collisions (many elements hitting
+the same bin) are what the I-structure ``accumulate`` relaxation exists
+for: the first update defines the cell, later updates add. The bins are
+first initialised with ``h[b] += 0`` (an *affine* accumulate, no
+routing) so empty bins read as 0 rather than undefined.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import IStructure
+
+SOURCE = """
+-- h[b] = |{ i : bin[i] = b }|.
+param N;
+param M;
+
+map bin by block;
+map h by block;
+
+procedure histogram(bin: vector) returns vector {
+    let h = vector(M);
+    for b = 1 to M {
+        h[b] += 0;
+    }
+    for i = 1 to N {
+        h[bin[i]] += 1;
+    }
+    return h;
+}
+"""
+
+ENTRY = "histogram"
+
+ENTRY_SHAPES = {"bin": ("N",)}
+
+
+def generate(n: int, m: int, seed: int = 1) -> list[int]:
+    """Deterministic bin choices in ``1..m`` (1-based list of length n)."""
+    state = seed * 2654435761 % 2**31 or 1
+    out = []
+    for _ in range(n):
+        state = (1103515245 * state + 12345) % 2**31
+        out.append(state % m + 1)
+    return out
+
+
+def make_inputs(n: int, m: int, seed: int = 1):
+    bins = generate(n, m, seed)
+    bin_arr = IStructure((n,), name="bin")
+    for i in range(n):
+        bin_arr.write(i + 1, bins[i])
+    return {"bin": bin_arr}
+
+
+def reference(n: int, m: int, bins) -> list[int]:
+    h = [0] * m
+    for b in bins:
+        h[b - 1] += 1
+    return h

@@ -1,0 +1,95 @@
+"""Unstructured-mesh relaxation: gather through a neighbour table.
+
+Each of the ``N`` mesh points averages itself with its four neighbours,
+whose identities live in the flat table ``nbr`` (``nbr[4(i-1)+j]`` is
+point ``i``'s ``j``-th neighbour). Unlike the regular Jacobi stencil,
+the neighbour of a point is arbitrary — the access pattern is fixed by
+the *mesh*, not the loop structure, so only the inspector strategy can
+place the communication. The table never changes across time steps,
+which is exactly the reuse the inspector's cached schedules pay off on:
+after the first step (or a schedule-cache hit) each step's traffic is
+just the data phase.
+
+Integer averaging (``div 5``) keeps results bit-comparable between the
+sequential interpreter and the SPMD backends.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import IStructure
+from repro.symbolic import sym
+
+SOURCE = """
+-- T sweeps of xn[i] = mean(x[i], x[neighbours of i]).
+param N;
+param T;
+
+map x by block;
+map nbr by block;
+map xn by block;
+
+procedure relax(x: vector, nbr: vector) returns vector {
+    for t = 1 to T {
+        let xn = vector(N);
+        for i = 1 to N {
+            xn[i] = (x[i]
+                     + x[nbr[4 * (i - 1) + 1]]
+                     + x[nbr[4 * (i - 1) + 2]]
+                     + x[nbr[4 * (i - 1) + 3]]
+                     + x[nbr[4 * (i - 1) + 4]]) div 5;
+        }
+        x = xn;
+    }
+    return x;
+}
+"""
+
+ENTRY = "relax"
+
+ENTRY_SHAPES = {"x": ("N",), "nbr": (sym("N") * 4,)}
+
+
+def generate(n: int, seed: int = 1) -> list[int]:
+    """Deterministic neighbour table: ring neighbours plus two chords.
+
+    Returns the flat 1-based table of length ``4 * n``.
+    """
+    state = seed * 2654435761 % 2**31 or 1
+
+    def rand():
+        nonlocal state
+        state = (1103515245 * state + 12345) % 2**31
+        return state
+
+    table: list[int] = []
+    for i in range(1, n + 1):
+        left = (i - 2) % n + 1
+        right = i % n + 1
+        chord1 = rand() % n + 1
+        chord2 = rand() % n + 1
+        table.extend([left, right, chord1, chord2])
+    return table
+
+
+def make_inputs(n: int, seed: int = 1):
+    table = generate(n, seed)
+    nbr = IStructure((4 * n,), name="nbr")
+    for k in range(4 * n):
+        nbr.write(k + 1, table[k])
+    x = IStructure((n,), name="x")
+    for i in range(1, n + 1):
+        x.write(i, (i * i + 3 * i) % 97)
+    return {"x": x, "nbr": nbr}
+
+
+def reference(n: int, table, x0, steps: int) -> list[int]:
+    x = list(x0)
+    for _ in range(steps):
+        xn = [0] * n
+        for i in range(1, n + 1):
+            s = x[i - 1]
+            for j in range(4):
+                s += x[table[4 * (i - 1) + j] - 1]
+            xn[i - 1] = s // 5
+        x = xn
+    return x

@@ -1,0 +1,115 @@
+"""Sparse matrix-vector product — the canonical irregular workload.
+
+The matrix is stored as COO triples ``(row[k], col[k], val[k])``,
+``k = 1..NNZ``, expanded from a generated CSR matrix whose diagonal is
+always present (so every result element receives at least one
+contribution and stays defined under I-structure semantics). Each time
+step computes ``y = A·x`` and ping-pongs ``x = y``.
+
+The inner statement ``y[row[k]] += val[k] * x[col[k]]`` exercises both
+irregular access forms at once: a *scatter* through ``row`` and a
+*gather* through ``col``. ``row``/``col``/``val`` are block-distributed
+over the same index space, so the evaluating processor (the owner of
+``row[k]``) reads ``col[k]`` and ``val[k]`` locally; only the
+data-dependent ``x[col[k]]`` and ``y[row[k]]`` traffic goes through the
+inspector's schedules. All arithmetic is integer so results are exactly
+comparable across the sequential interpreter and both SPMD backends.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import IStructure
+
+SOURCE = """
+-- y = A x, T times, A as COO triples; x = y between steps.
+param N;
+param NNZ;
+param T;
+
+map row by block;
+map col by block;
+map val by block;
+map x by block;
+map y by block;
+
+procedure spmv(row: vector, col: vector, val: vector, x: vector)
+        returns vector {
+    for t = 1 to T {
+        let y = vector(N);
+        for k = 1 to NNZ {
+            y[row[k]] += val[k] * x[col[k]];
+        }
+        x = y;
+    }
+    return x;
+}
+"""
+
+ENTRY = "spmv"
+
+ENTRY_SHAPES = {
+    "row": ("NNZ",),
+    "col": ("NNZ",),
+    "val": ("NNZ",),
+    "x": ("N",),
+}
+
+
+def generate(n: int, extra_per_row: int = 2, seed: int = 1):
+    """Deterministic CSR matrix (diagonal + ``extra_per_row`` off-diagonal
+    entries per row) expanded to COO triples.
+
+    Returns ``(rows, cols, vals)`` as 1-based Python lists.
+    """
+    state = seed * 2654435761 % 2**31 or 1
+
+    def rand():
+        nonlocal state
+        state = (1103515245 * state + 12345) % 2**31
+        return state
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[int] = []
+    for i in range(1, n + 1):
+        seen = {i}
+        rows.append(i)
+        cols.append(i)
+        vals.append(rand() % 9 + 1)
+        for _ in range(extra_per_row):
+            j = rand() % n + 1
+            if j in seen:
+                continue
+            seen.add(j)
+            rows.append(i)
+            cols.append(j)
+            vals.append(rand() % 9 + 1)
+    return rows, cols, vals
+
+
+def make_inputs(n: int, extra_per_row: int = 2, seed: int = 1):
+    """IStructure inputs for :func:`repro.core.runner.execute` plus params."""
+    rows, cols, vals = generate(n, extra_per_row, seed)
+    nnz = len(rows)
+    row = IStructure((nnz,), name="row")
+    col = IStructure((nnz,), name="col")
+    val = IStructure((nnz,), name="val")
+    for k in range(nnz):
+        row.write(k + 1, rows[k])
+        col.write(k + 1, cols[k])
+        val.write(k + 1, vals[k])
+    x = IStructure((n,), name="x")
+    for i in range(1, n + 1):
+        x.write(i, (i * 37 + 11) % 50)
+    return {"row": row, "col": col, "val": val, "x": x}, nnz
+
+
+def reference(n: int, rows, cols, vals, x0, steps: int) -> list[int]:
+    """Sequential oracle over the same COO triples, 1-based inputs."""
+    x = list(x0)
+    for _ in range(steps):
+        y = [0] * n
+        for r, c, v in zip(rows, cols, vals):
+            y[r - 1] += v * x[c - 1]
+        x = y
+    return x

@@ -17,6 +17,9 @@ Usage::
     python -m repro.bench verify [--app gauss_seidel] [--dist wrapped_cols]
                                  [--strategy optIII] [--n 48] [--nprocs 8]
                                  [--json PATH]
+    python -m repro.bench irregular [--app spmv|histogram|mesh|all]
+                                    [--n 48] [--nprocs 4] [--steps 2]
+                                    [--bins 32] [--nnz 2] [--json PATH]
     python -m repro.bench serve [--host 127.0.0.1] [--port 8000]
                                 [--rate 10] [--burst 20] [--sync]
                                 [--no-tune]
@@ -27,6 +30,13 @@ plane (:mod:`repro.service`): a long-running HTTP server that turns
 (compiled-IR summary, verify report, tune ranking) persisted in the
 shared artifact store, with keyset-paginated listings, health/stats
 routes, and token-bucket rate limiting.
+
+The ``irregular`` command runs the inspector/executor acceptance checks
+(:mod:`repro.bench.irregular`) on the data-dependent apps — sparse
+matvec, histogram, unstructured-mesh relaxation — gating oracle
+bit-identity on both backends and exact schedule reuse (warm-run
+message count == schedule size x site executions), and exits 1 when a
+gate fails.
 
 The ``verify`` command runs the static communication-safety verifier
 (:mod:`repro.analysis`) on one configuration without simulating it, and
@@ -632,6 +642,61 @@ def cmd_verify(args) -> int:
     return 1 if report.diagnostics else 0
 
 
+def cmd_irregular(args) -> int:
+    """Run the irregular apps under the inspector strategy, gated.
+
+    Exit codes: 0 when every gate holds (oracle and backend
+    bit-identity, exact schedule reuse), 1 when any fails, 2 for usage
+    errors (argparse).
+    """
+    from repro.bench.irregular import APPS, run_point
+
+    apps = APPS if args.app == "all" else (args.app,)
+    points = []
+    try:
+        for app in apps:
+            points.append(
+                run_point(
+                    app, args.n, args.nprocs,
+                    steps=args.steps, bins=args.bins, nnz_extra=args.nnz,
+                )
+            )
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    cols = [
+        "app", "sites", "schedule_messages", "cold_messages",
+        "warm_messages", "cold_ms", "warm_ms",
+    ]
+    rows = [
+        {
+            **{c: str(p[c]) for c in cols if c in p},
+            "cold_ms": f"{p['cold_time_us'] / 1000:.1f}",
+            "warm_ms": f"{p['warm_time_us'] / 1000:.1f}",
+        }
+        for p in points
+    ]
+    print(
+        format_table(
+            rows, cols,
+            f"irregular apps, strategy=inspector (N={args.n}, "
+            f"S={args.nprocs}): schedules built once, replayed warm",
+        )
+    )
+    _print_profile(args)
+    if args.json:
+        payload = {
+            "n": args.n,
+            "nprocs": args.nprocs,
+            "points": points,
+            "cache_stats": perf.cache_stats(),
+        }
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the decomposition service until interrupted."""
     import logging
@@ -696,6 +761,12 @@ def _validate_args(args) -> None:
             err(f"--{opt} must name at least one value")
         if any(v < 1 for v in values):
             err(f"--{opt} entries must be positive, got {text!r}")
+    if getattr(args, "steps", 1) < 1:
+        err(f"--steps must be a positive time-step count, got {args.steps}")
+    if getattr(args, "bins", 1) < 1:
+        err(f"--bins must be a positive bin count, got {args.bins}")
+    if getattr(args, "nnz", 0) < 0:
+        err(f"--nnz must be a non-negative per-row fill count, got {args.nnz}")
     if getattr(args, "jobs", 1) < 1:
         err(f"--jobs must be positive, got {args.jobs}")
     if getattr(args, "top_k", 1) < 1:
@@ -720,6 +791,7 @@ def main(argv: list[str] | None = None) -> int:
         ("replay", cmd_replay),
         ("tune", cmd_tune),
         ("verify", cmd_verify),
+        ("irregular", cmd_irregular),
     ):
         cmd = sub.add_parser(name)
         cmd.set_defaults(fn=fn, parser=cmd)
@@ -747,6 +819,30 @@ def main(argv: list[str] | None = None) -> int:
                 "--jobs", type=int, default=1, metavar="N",
                 help="measure up to N strategy series in parallel "
                      "worker processes",
+            )
+        if name == "irregular":
+            cmd.set_defaults(nprocs=4)
+            cmd.add_argument(
+                "--app",
+                choices=["spmv", "histogram", "mesh", "all"],
+                default="all",
+            )
+            cmd.add_argument(
+                "--steps", type=int, default=2, metavar="T",
+                help="time steps for the iterated apps (spmv, mesh)",
+            )
+            cmd.add_argument(
+                "--bins", type=int, default=32, metavar="M",
+                help="histogram bin count",
+            )
+            cmd.add_argument(
+                "--nnz", type=int, default=2, metavar="K",
+                help="off-diagonal entries per sparse-matrix row (spmv)",
+            )
+            cmd.add_argument(
+                "--json", type=str, default=None, metavar="PATH",
+                help="also dump the measurement points as JSON "
+                     "('-' for stdout)",
             )
         if name == "replay":
             cmd.add_argument(

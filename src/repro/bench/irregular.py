@@ -1,0 +1,259 @@
+"""Irregular-workload acceptance measurement (inspector/executor).
+
+One sweep, shared by the acceptance script ``benchmarks/bench_irregular.py``
+(which writes ``BENCH_irregular.json``) and the ``python -m repro.bench
+irregular`` subcommand. Each point compiles one irregular app —
+``spmv`` (scatter + gather in one statement), ``histogram`` (pure
+scatter with collisions), ``mesh`` (neighbour-table gather reused
+across time steps) — under ``strategy="inspector"`` and runs it cold
+(schedules built in-simulation) and warm (schedules injected as
+preplans), on both execution backends, enforcing:
+
+* **oracle identity** — every run's gathered result equals the app's
+  plain-Python reference, bit for bit;
+* **backend identity** — interp and compiled agree exactly on simulated
+  time, message count, and the built schedules themselves (the shared
+  generators in :mod:`repro.inspector.executor` make this hold by
+  construction; this gate keeps it held);
+* **schedule reuse** — a warm run sends *zero* messages on the
+  inspector's request channels (``ix*.req``) and *exactly*
+  ``site executions x schedule size`` on its data channels
+  (``ix*.dat``: one message per (server, needer) pair per gather, one
+  per destination per scatter); the cold run pays on top of that
+  exactly the ``sites x S x (S - 1)`` request-round messages — nothing
+  is silently rebuilt, nothing extra is sent. Affine coerce traffic
+  (block-boundary misalignments between differently-sized arrays) rides
+  on its own channels; the cold run may pay extra coerces during
+  enumeration, never fewer.
+
+Runs are hermetic: schedules are handed in and out through explicit
+:class:`~repro.inspector.context.InspectorContext` objects, bypassing
+the runner's persistent schedule cache, so results never depend on what
+earlier runs left behind.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import perf
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+from repro.inspector.context import INSPECTOR_GLOBAL, InspectorContext
+from repro.inspector.executor import schedule_messages
+
+APPS = ("spmv", "histogram", "mesh")
+
+
+def _inspector_messages(outcome) -> tuple[int, int]:
+    """(request, data) message counts on the inspector's ``ix*`` channels."""
+    req = dat = 0
+    for name, count in outcome.sim.stats.messages_by_channel_name().items():
+        if name.startswith("ix") and name.endswith(".req"):
+            req += count
+        elif name.startswith("ix") and name.endswith(".dat"):
+            dat += count
+    return req, dat
+
+
+def _setup(app: str, n: int, steps: int, bins: int, nnz_extra: int):
+    """Compile one app and stage its inputs.
+
+    Returns ``(compiled, inputs, params, expected, site_execs)`` where
+    ``expected`` is the reference result as a plain list and
+    ``site_execs`` is how many times each inspector site's data phase
+    runs (the time-step count for the iterated apps, 1 for histogram).
+    """
+    if app == "spmv":
+        from repro.apps import spmv as mod
+
+        inputs, nnz = mod.make_inputs(n, extra_per_row=nnz_extra)
+        params = {"N": n, "NNZ": nnz, "T": steps}
+        rows, cols, vals = mod.generate(n, extra_per_row=nnz_extra)
+        expected = mod.reference(
+            n, rows, cols, vals, inputs["x"].to_list(), steps
+        )
+        site_execs = steps
+    elif app == "histogram":
+        from repro.apps import histogram as mod
+
+        inputs = mod.make_inputs(n, bins)
+        params = {"N": n, "M": bins}
+        expected = mod.reference(n, bins, mod.generate(n, bins))
+        site_execs = 1
+    elif app == "mesh":
+        from repro.apps import mesh as mod
+
+        inputs = mod.make_inputs(n)
+        params = {"N": n, "T": steps}
+        expected = mod.reference(
+            n, mod.generate(n), inputs["x"].to_list(), steps
+        )
+        site_execs = steps
+    else:
+        raise ValueError(f"unknown irregular app {app!r} (known: {APPS})")
+    compiled = compile_program(
+        mod.SOURCE,
+        entry=mod.ENTRY,
+        entry_shapes=mod.ENTRY_SHAPES,
+        strategy=Strategy.INSPECTOR,
+        opt_level=OptLevel.NONE,
+    )
+    return compiled, inputs, params, expected, site_execs
+
+
+def run_point(
+    app: str,
+    n: int,
+    nprocs: int,
+    steps: int = 2,
+    bins: int = 32,
+    nnz_extra: int = 2,
+) -> dict:
+    """Benchmark one app; raises AssertionError on any gate."""
+    compiled, inputs, params, expected, site_execs = _setup(
+        app, n, steps, bins, nnz_extra
+    )
+    label = f"{app} N={n} S={nprocs}"
+
+    def run(backend: str, ctx: InspectorContext):
+        t0 = time.perf_counter()
+        outcome = execute(
+            compiled,
+            nprocs,
+            inputs=inputs,
+            params=params,
+            backend=backend,
+            extra_globals={INSPECTOR_GLOBAL: ctx},
+        )
+        return time.perf_counter() - t0, outcome
+
+    def check_value(name, outcome):
+        got = outcome.value.to_list()
+        if got != expected:
+            raise AssertionError(
+                f"{label}: {name} run diverged from the reference oracle"
+            )
+
+    # Cold: empty preplans, every schedule built in-simulation.
+    cold_ctx = InspectorContext()
+    cold_s, cold = run("compiled", cold_ctx)
+    check_value("cold compiled", cold)
+    plans = cold_ctx.built
+    sites = len(compiled.inspector_sites)
+    if sorted(plans) != sorted(s["sched"] for s in compiled.inspector_sites):
+        raise AssertionError(
+            f"{label}: built schedules {sorted(plans)} do not match the "
+            f"compiler's inspector sites"
+        )
+
+    cold_interp_ctx = InspectorContext()
+    _, cold_interp = run("interp", cold_interp_ctx)
+    check_value("cold interp", cold_interp)
+    if cold_interp_ctx.built != plans:
+        raise AssertionError(
+            f"{label}: interp and compiled built different schedules"
+        )
+
+    # Warm: schedules preplanned, only data phases execute.
+    warm_s, warm = run("compiled", InspectorContext(plans))
+    check_value("warm compiled", warm)
+    warm_interp_s, warm_interp = run("interp", InspectorContext(plans))
+    check_value("warm interp", warm_interp)
+
+    for name, a, b in (
+        ("cold", cold, cold_interp),
+        ("warm", warm, warm_interp),
+    ):
+        if (a.makespan_us, a.total_messages) != (
+            b.makespan_us, b.total_messages
+        ):
+            raise AssertionError(
+                f"{label}: {name} interp/compiled disagree — "
+                f"({a.makespan_us}, {a.total_messages}) vs "
+                f"({b.makespan_us}, {b.total_messages})"
+            )
+
+    # The reuse gates: warm inspector traffic is the data phases and
+    # nothing else; cold additionally pays exactly the request round.
+    sched_msgs = sum(schedule_messages(per_rank) for per_rank in
+                     plans.values())
+    want_dat = site_execs * sched_msgs
+    cold_req, cold_dat = _inspector_messages(cold)
+    warm_req, warm_dat = _inspector_messages(warm)
+    if warm_req != 0:
+        raise AssertionError(
+            f"{label}: warm run sent {warm_req} request messages — "
+            f"preplanned schedules were rebuilt in-simulation"
+        )
+    for name, dat in (("cold", cold_dat), ("warm", warm_dat)):
+        if dat != want_dat:
+            raise AssertionError(
+                f"{label}: {name} run sent {dat} data-phase messages, "
+                f"expected {site_execs} executions x {sched_msgs} "
+                f"scheduled = {want_dat}"
+            )
+    want_req = sites * nprocs * (nprocs - 1)
+    if cold_req != want_req:
+        raise AssertionError(
+            f"{label}: cold run sent {cold_req} request messages, "
+            f"expected {want_req} ({sites} sites x S x (S-1))"
+        )
+    # Outside the inspector's channels only affine coerces remain. The
+    # cold run may pay extra ones (the enumeration pass re-reads the
+    # index arrays), never fewer.
+    cold_affine = cold.total_messages - cold_req - cold_dat
+    warm_affine = warm.total_messages - warm_dat
+    if cold_affine < warm_affine:
+        raise AssertionError(
+            f"{label}: warm run sent more affine messages than cold "
+            f"({warm_affine} vs {cold_affine})"
+        )
+    if nprocs > 1 and cold.makespan_us <= warm.makespan_us:
+        raise AssertionError(
+            f"{label}: warm run ({warm.makespan_us} us) not faster than "
+            f"cold ({cold.makespan_us} us) — schedule reuse saved nothing"
+        )
+
+    return {
+        "app": app,
+        "n": n,
+        "nprocs": nprocs,
+        "params": params,
+        "sites": sites,
+        "site_executions": site_execs,
+        "schedule_messages": sched_msgs,
+        "cold_messages": cold.total_messages,
+        "warm_messages": warm.total_messages,
+        "request_messages": cold_req,
+        "data_messages": warm_dat,
+        "cold_time_us": cold.makespan_us,
+        "warm_time_us": warm.makespan_us,
+        "cold_host_s": round(cold_s, 3),
+        "warm_host_s": round(warm_s, 3),
+        "warm_interp_host_s": round(warm_interp_s, 3),
+    }
+
+
+def run_benchmark(quick: bool = True, nprocs: int | None = None) -> dict:
+    """The full sweep: all three apps, every gate.
+
+    Quick mode (CI smoke) shrinks problem sizes and the ring; the
+    committed ``BENCH_irregular.json`` numbers come from full mode.
+    """
+    if quick:
+        nprocs = nprocs or 4
+        grid = (("spmv", 32, 2), ("histogram", 128, 1), ("mesh", 32, 2))
+    else:
+        nprocs = nprocs or 8
+        grid = (("spmv", 128, 3), ("histogram", 1024, 1), ("mesh", 128, 3))
+    points = [
+        run_point(app, n, nprocs, steps=steps)
+        for app, n, steps in grid
+    ]
+    return {
+        "benchmark": "irregular inspector/executor acceptance",
+        "quick": quick,
+        "points": points,
+        "cache_stats": perf.cache_stats(),
+    }

@@ -60,6 +60,13 @@ class CompiledProgram:
     entry_array_params: list[str]
     entry_return_array: ArrayInfo | None
     param_names: list[str]
+    # Inspector schedule sites (strategy="inspector" only), in site
+    # order: dicts with keys ``sched`` (schedule name), ``kind``
+    # ("gather" or "scatter"), ``array`` (the indirectly accessed
+    # array), and ``index_arrays`` (arrays read inside the site's index
+    # expression). The runner keys its schedule cache on the contents
+    # of the ``index_arrays``.
+    inspector_sites: list[dict] = field(default_factory=list)
 
     def info_for(self, proc: str, var: str) -> ArrayInfo:
         try:
@@ -302,6 +309,16 @@ def _infer_in_proc(
             dist = spec.distribution_of(stmt.name)
             local[stmt.name] = ArrayInfo(dist=dist, shape=shape)
             changed = True
+        elif isinstance(stmt, ast.AssignStmt) and (
+            isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.value, ast.Name)
+        ):
+            # Array-to-array rebinding (``x = xn;``): the alias shares the
+            # source array's layout.
+            src_info = local.get(stmt.value.id)
+            if src_info is not None and stmt.target.id not in local:
+                local[stmt.target.id] = src_info
+                changed = True
         elif isinstance(stmt, ast.LetStmt) and isinstance(stmt.init, ast.CallExpr):
             callee = checked.procs.get(stmt.init.func)
             if callee is not None and callee.returns.is_array():

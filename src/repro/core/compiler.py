@@ -10,6 +10,8 @@ Strategies and levels map onto the paper:
 ======================  =====================================================
 ``Strategy.RUNTIME``    §3.1 run-time resolution (Figure 4b)
 ``Strategy.COMPILE_TIME``  §3.2 compile-time resolution (Figures 4d, 5)
+``Strategy.INSPECTOR``  run-time resolution + inspector/executor schedules
+                        for data-dependent (indirect) accesses
 ``OptLevel.NONE``       no message optimization
 ``OptLevel.VECTORIZE``  Optimized I — combine loop-invariant sends (A.2)
 ``OptLevel.JAM``        Optimized II — + loop jamming / pipelining (A.3)
@@ -38,6 +40,7 @@ from repro.spmd import validate_program
 class Strategy(str, Enum):
     RUNTIME = "runtime"
     COMPILE_TIME = "compile_time"
+    INSPECTOR = "inspector"
 
 
 class OptLevel(IntEnum):
@@ -160,10 +163,19 @@ def compile_program_cached(
     return result
 
 
+# Schema tag for persisted CompiledProgram payloads. A pickle from an
+# older revision can load *successfully* yet lack newly added fields
+# (dataclass defaults do not apply to unpickled instances), which the
+# store's corrupt-entry handling cannot catch — so the tag goes in the
+# key and stale entries simply miss. Bump when CompiledProgram or the
+# IR it embeds changes shape.
+_COMPILE_SCHEMA = 2
+
+
 def _canonical_compile_key(key) -> str:
     # Every component (source text, entry name, Strategy/OptLevel enums,
     # sorted shape tuples, int) has a process-independent repr.
-    return f"compile|{key!r}"
+    return f"compile|s{_COMPILE_SCHEMA}|{key!r}"
 
 
 _compile_cache: dict = perf.register_cache(
@@ -197,7 +209,7 @@ def _compile_program(
         entry = _default_entry(checked)
     if entry not in checked.procs:
         raise CompileError(f"unknown entry procedure {entry!r}")
-    if opt_level is not OptLevel.NONE and strategy is Strategy.RUNTIME:
+    if opt_level is not OptLevel.NONE and strategy is not Strategy.COMPILE_TIME:
         raise CompileError(
             "message optimizations apply to compile-time resolution only "
             "(the paper's Optimized I-III start from Figure 5)"
@@ -205,9 +217,16 @@ def _compile_program(
 
     array_info = infer_array_info(checked, spec, entry, entry_shapes)
 
+    inspector_sites: list[dict] = []
     if strategy is Strategy.RUNTIME:
         resolver = RuntimeResolver(checked, spec, array_info)
         program = resolver.generate(entry, name=f"rtr-{entry}")
+    elif strategy is Strategy.INSPECTOR:
+        from repro.core.inspector_resolution import InspectorResolver
+
+        resolver = InspectorResolver(checked, spec, array_info)
+        program = resolver.generate(entry, name=f"ixr-{entry}")
+        inspector_sites = resolver.inspector_sites
     else:
         from repro.core.compile_time import CompileTimeResolver
 
@@ -235,6 +254,7 @@ def _compile_program(
         ],
         entry_return_array=entry_return_array_info(checked, entry, array_info),
         param_names=list(checked.params),
+        inspector_sites=inspector_sites,
     )
 
 

@@ -1,0 +1,388 @@
+"""Inspector/executor resolution for irregular access patterns.
+
+Run-time resolution (§3.1) and compile-time resolution (§3.2) both
+require every array reference to be *affine* — placeable by the mapping
+equations before any data exists. An indirect reference ``a[idx[i]]``
+breaks that: the accessed element depends on ``idx``'s contents, so its
+owner is unknowable statically. This resolver extends the run-time
+strategy with the inspector/executor split:
+
+* a **gather** site ``... = f(a[idx[i]])`` is lowered to an
+  :class:`~repro.spmd.ir.NExchange` hoisted immediately before the
+  enclosing loop (enumerate the needed global indices once, exchange
+  request lists, retain the schedule) plus an
+  :class:`~repro.spmd.ir.NIndirect` ghost-table read at the use site;
+* a **scatter** site ``a[idx[i]] += v`` buffers contributions with
+  :class:`~repro.spmd.ir.NAccum` and routes them with one
+  :class:`~repro.spmd.ir.NScatterFlush` after the loop — the routing
+  plan is likewise built on first flush and replayed after;
+* an **affine accumulate** ``a[i] += v`` needs no routing and becomes an
+  owner-guarded :class:`~repro.spmd.ir.NAccumLocal`;
+* an array-to-array assignment ``x = xn;`` (the ping-pong step of
+  iterative irregular kernels) becomes a free
+  :class:`~repro.spmd.ir.NArrayAlias`.
+
+Statement instances are assigned to processors by an affine *evaluator*
+expression E every rank can compute: for an affine target, E is the
+target element's owner (owner-computes, as in run-time resolution); for
+an indirect scatter target, E is the owner of the first loop-var-indexed
+affine read in the target's index expression (the *anchor* — for
+``h[bin[i]] += v`` that is ``bin[i]``, so the rank holding ``bin[i]``
+issues the contribution and reads it locally). Affine operand reads
+coerce to E through the usual owner-sends machinery, which collapses to
+a free local read whenever the operand is aligned with E.
+
+Restrictions (violations raise :class:`~repro.errors.CompileError`, so
+the strategy *abstains* rather than miscompiling): indirect arrays and
+their sites are rank-1; index expressions must not themselves contain
+indirect reads (``a[idx[b[i]]]`` parses but does not compile); indirect
+accesses must sit inside a loop with a single evaluator (no replicated
+indirect reads); indirect assignment targets require ``+=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.inspector.executor import TEMPLATE_VAR
+from repro.lang import ast
+from repro.core.runtime_resolution import RuntimeResolver, _Ctx
+from repro.spmd import ir
+from repro.spmd.ir import NBin, NConst, NMyNode, NVar, VarLV
+
+
+def _contains_index(e: ast.Expr) -> bool:
+    return any(isinstance(n, ast.Index) for n in ast.walk_exprs(e))
+
+
+def _is_indirect_ref(node: ast.Index) -> bool:
+    return any(_contains_index(i) for i in node.indices)
+
+
+def _has_indirect(e: ast.Expr) -> bool:
+    return any(
+        isinstance(n, ast.Index) and _is_indirect_ref(n)
+        for n in ast.walk_exprs(e)
+    )
+
+
+@dataclass
+class _GatherSite:
+    sched: str
+    array: str
+    channel: str
+    owner_t: ir.NExpr
+    local_t: ir.NExpr
+    enum_stmts: list
+
+
+@dataclass
+class _ScatterSite:
+    sched: str
+    array: str
+    channel: str
+    owner_t: ir.NExpr
+    local_t: ir.NExpr
+
+
+class _LoopRecord:
+    __slots__ = ("gathers", "scatters")
+
+    def __init__(self):
+        self.gathers: list[_GatherSite] = []
+        self.scatters: list[_ScatterSite] = []
+
+
+class InspectorResolver(RuntimeResolver):
+    """Run-time resolution extended with inspector/executor lowering."""
+
+    def __init__(self, checked, spec, array_info):
+        super().__init__(checked, spec, array_info)
+        self.inspector_sites: list[dict] = []
+        self._loop_stack: list[_LoopRecord] = []
+        self._eval_stack: list[ir.NExpr] = []
+        self._site_counter = 0
+
+    # -- statements ----------------------------------------------------------
+    def gen_stmt(self, stmt: ast.Stmt, ctx: _Ctx) -> list[ir.NStmt]:
+        if isinstance(stmt, ast.ForStmt):
+            return self._gen_for(stmt, ctx)
+        if isinstance(stmt, ast.AccumStmt):
+            return self._gen_accum(stmt, ctx)
+        return super().gen_stmt(stmt, ctx)
+
+    def _gen_for(self, stmt: ast.ForStmt, ctx: _Ctx) -> list[ir.NStmt]:
+        lo = self.replicated_ir(stmt.lo, ctx)
+        hi = self.replicated_ir(stmt.hi, ctx)
+        step = (
+            NConst(1)
+            if stmt.step is None
+            else self.replicated_ir(stmt.step, ctx)
+        )
+        record = _LoopRecord()
+        self._loop_stack.append(record)
+        try:
+            body = self.gen_body(stmt.body, ctx.inside_loop(stmt.var))
+        finally:
+            self._loop_stack.pop()
+        out: list[ir.NStmt] = []
+        for site in record.gathers:
+            enum_loop = ir.NFor(stmt.var, lo, hi, step, site.enum_stmts)
+            out.append(
+                ir.NExchange(
+                    site.sched,
+                    site.array,
+                    site.channel,
+                    (enum_loop,),
+                    site.owner_t,
+                    site.local_t,
+                )
+            )
+        out.append(ir.NFor(stmt.var, lo, hi, step, body))
+        for site in record.scatters:
+            out.append(
+                ir.NScatterFlush(
+                    site.sched,
+                    site.array,
+                    site.channel,
+                    site.owner_t,
+                    site.local_t,
+                )
+            )
+        return out
+
+    def gen_binding(
+        self, name: str, value: ast.Expr, ctx: _Ctx, stmt: ast.Stmt
+    ) -> list[ir.NStmt]:
+        if (
+            self.is_array(name, ctx)
+            and isinstance(value, ast.Name)
+            and self.is_array(value.id, ctx)
+        ):
+            return [ir.NArrayAlias(name, value.id)]
+        return super().gen_binding(name, value, ctx, stmt)
+
+    def gen_element_write(
+        self, target: ast.Index, value: ast.Expr, ctx: _Ctx, stmt: ast.Stmt
+    ) -> list[ir.NStmt]:
+        if any(_contains_index(i) for i in target.indices):
+            raise CompileError(
+                f"indirect assignment target {target.array}[...] requires "
+                "'+=' (scatter contributions accumulate; write-once '=' "
+                "through a data-dependent index is not supported)"
+            )
+        info = self.info(target.array, ctx)
+        idx_ir = [self.replicated_ir(i, ctx) for i in target.indices]
+        owner = self.owner_ir(info, idx_ir)
+        ev_name = self.temps.fresh()
+        out: list[ir.NStmt] = [ir.NAssign(VarLV(ev_name), owner)]
+        self._eval_stack.append(owner)
+        try:
+            pre, val = self.resolve_expr(value, NVar(ev_name), ctx)
+        finally:
+            self._eval_stack.pop()
+        out.extend(pre)
+        local = self.local_ir(info, idx_ir)
+        guard = NBin("==", NMyNode(), NVar(ev_name))
+        out.append(
+            ir.NIf(guard, [ir.NAssign(ir.IsLV(target.array, local), val)])
+        )
+        return out
+
+    def _gen_accum(self, stmt: ast.AccumStmt, ctx: _Ctx) -> list[ir.NStmt]:
+        target = stmt.target
+        info = self.info(target.array, ctx)
+        indirect = any(_contains_index(i) for i in target.indices)
+        if not indirect:
+            # Owner-local accumulate: E = owner(target), no routing.
+            idx_ir = [self.replicated_ir(i, ctx) for i in target.indices]
+            owner = self.owner_ir(info, idx_ir)
+            ev_name = self.temps.fresh()
+            out: list[ir.NStmt] = [ir.NAssign(VarLV(ev_name), owner)]
+            self._eval_stack.append(owner)
+            try:
+                pre, val = self.resolve_expr(stmt.value, NVar(ev_name), ctx)
+            finally:
+                self._eval_stack.pop()
+            out.extend(pre)
+            local = self.local_ir(info, idx_ir)
+            guard = NBin("==", NMyNode(), NVar(ev_name))
+            out.append(
+                ir.NIf(guard, [ir.NAccumLocal(target.array, local, val)])
+            )
+            return out
+
+        if len(target.indices) != 1 or len(info.shape) != 1:
+            raise CompileError(
+                f"indirect scatter into {target.array!r} must be rank-1"
+            )
+        if not self._loop_stack:
+            raise CompileError(
+                "indirect scatter outside a loop: the inspector needs a "
+                "loop nest to plan the communication schedule over"
+            )
+        idx_expr = target.indices[0]
+        self._check_no_nested_indirect(idx_expr)
+        anchor = self._anchor(idx_expr, target.array)
+        ainfo = self.info(anchor.array, ctx)
+        anchor_idx = [self.replicated_ir(i, ctx) for i in anchor.indices]
+        evaluator = self.owner_ir(ainfo, anchor_idx)
+
+        sched, channel = self._new_site()
+        owner_t = self.owner_ir(info, [NVar(TEMPLATE_VAR)])
+        local_t = self.local_ir(info, [NVar(TEMPLATE_VAR)])[0]
+        ev_name = self.temps.fresh()
+        out = [ir.NAssign(VarLV(ev_name), evaluator)]
+        self._eval_stack.append(evaluator)
+        try:
+            ipre, ival = self.resolve_expr(idx_expr, NVar(ev_name), ctx)
+            vpre, val = self.resolve_expr(stmt.value, NVar(ev_name), ctx)
+        finally:
+            self._eval_stack.pop()
+        out.extend(ipre)
+        out.extend(vpre)
+        guard = NBin("==", NMyNode(), NVar(ev_name))
+        out.append(
+            ir.NIf(guard, [ir.NAccum(sched, target.array, ival, val)])
+        )
+        self._loop_stack[-1].scatters.append(
+            _ScatterSite(sched, target.array, channel, owner_t, local_t)
+        )
+        self._record_site(sched, "scatter", target.array, idx_expr)
+        return out
+
+    # -- expressions ---------------------------------------------------------
+    def resolve_expr(
+        self, e: ast.Expr, dest, ctx: _Ctx
+    ) -> tuple[list[ir.NStmt], ir.NExpr]:
+        if not _has_indirect(e):
+            return super().resolve_expr(e, dest, ctx)
+        if dest == "ALL":
+            raise CompileError(
+                "indirect (data-dependent) access cannot be evaluated on "
+                "all processors; use it inside a loop with a distributed "
+                "target"
+            )
+        pre: list[ir.NStmt] = []
+
+        def walk(node: ast.Expr) -> ir.NExpr:
+            if isinstance(node, ast.Index) and _is_indirect_ref(node):
+                return self._gather(node, dest, ctx, pre)
+            if isinstance(node, (ast.Unary,)):
+                return ir.NUn(node.op, walk(node.operand))
+            if isinstance(node, ast.Binary):
+                return ir.NBin(node.op, walk(node.left), walk(node.right))
+            if isinstance(node, ast.CallExpr) and _has_indirect(node):
+                from repro.lang.builtins import is_builtin
+
+                if is_builtin(node.func):
+                    return ir.NCall(
+                        node.func, tuple(walk(a) for a in node.args)
+                    )
+                raise CompileError(
+                    f"indirect access in an argument of procedure call "
+                    f"{node.func!r} is not supported"
+                )
+            sub_pre, value = super(InspectorResolver, self).resolve_expr(
+                node, dest, ctx
+            )
+            pre.extend(sub_pre)
+            return value
+
+        value = walk(e)
+        return pre, value
+
+    def _gather(
+        self, node: ast.Index, dest, ctx: _Ctx, pre: list[ir.NStmt]
+    ) -> ir.NExpr:
+        info = self.info(node.array, ctx)
+        if len(node.indices) != 1 or len(info.shape) != 1:
+            raise CompileError(
+                f"indirect gather from {node.array!r} must be rank-1"
+            )
+        if not self._loop_stack:
+            raise CompileError(
+                "indirect gather outside a loop: the inspector needs a "
+                "loop nest to enumerate the accessed indices"
+            )
+        if not self._eval_stack:
+            raise CompileError(
+                "indirect gather has no single evaluating processor here"
+            )
+        idx_expr = node.indices[0]
+        self._check_no_nested_indirect(idx_expr)
+
+        sched, channel = self._new_site()
+        owner_t = self.owner_ir(info, [NVar(TEMPLATE_VAR)])
+        local_t = self.local_ir(info, [NVar(TEMPLATE_VAR)])[0]
+
+        # Use-site index value, marshalled to the evaluator.
+        ipre, ival = self.resolve_expr(idx_expr, dest, ctx)
+        pre.extend(ipre)
+
+        # Enumeration replay of the same index computation, guarded by a
+        # re-derivation of the evaluator (the exchange's enum body runs
+        # on every rank over the full loop skeleton).
+        e_name = self.temps.fresh()
+        epre, eval_ = self.resolve_expr(idx_expr, NVar(e_name), ctx)
+        enum_stmts: list[ir.NStmt] = [
+            ir.NAssign(VarLV(e_name), self._eval_stack[-1])
+        ]
+        enum_stmts.extend(epre)
+        enum_stmts.append(
+            ir.NIf(
+                NBin("==", NMyNode(), NVar(e_name)),
+                [ir.NResolve(sched, eval_)],
+            )
+        )
+        self._loop_stack[-1].gathers.append(
+            _GatherSite(sched, node.array, channel, owner_t, local_t,
+                        enum_stmts)
+        )
+        self._record_site(sched, "gather", node.array, idx_expr)
+        return ir.NIndirect(sched, node.array, ival)
+
+    # -- helpers -------------------------------------------------------------
+    def _record_site(
+        self, sched: str, kind: str, array: str, idx_expr: ast.Expr
+    ) -> None:
+        index_arrays = sorted(
+            {
+                n.array
+                for n in ast.walk_exprs(idx_expr)
+                if isinstance(n, ast.Index)
+            }
+        )
+        self.inspector_sites.append(
+            {
+                "sched": sched,
+                "kind": kind,
+                "array": array,
+                "index_arrays": index_arrays,
+            }
+        )
+
+    def _new_site(self) -> tuple[str, str]:
+        n = self._site_counter
+        self._site_counter += 1
+        return f"isched{n}", f"ix{n}"
+
+    @staticmethod
+    def _check_no_nested_indirect(idx_expr: ast.Expr) -> None:
+        for sub in ast.walk_exprs(idx_expr):
+            if isinstance(sub, ast.Index) and _is_indirect_ref(sub):
+                raise CompileError(
+                    "nested indirect indexing (an index array indexed by "
+                    "another data-dependent read) is not supported"
+                )
+
+    @staticmethod
+    def _anchor(idx_expr: ast.Expr, target: str) -> ast.Index:
+        for sub in ast.walk_exprs(idx_expr):
+            if isinstance(sub, ast.Index):
+                return sub
+        raise CompileError(
+            f"indirect scatter into {target!r} has no affine array read "
+            "to anchor instance ownership on"
+        )

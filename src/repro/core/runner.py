@@ -8,15 +8,58 @@ compared with the sequential interpreter.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 from repro import perf
 from repro.errors import CompileError
+from repro.inspector.context import INSPECTOR_GLOBAL, InspectorContext
 from repro.machine import MachineParams, SimResult
 from repro.runtime import IStructure
 from repro.core.common import CompiledProgram
 from repro.spmd.interp import SPMDResult, run_spmd
 from repro.spmd.layout import gather, scatter
+
+# Inspector communication schedules, keyed on (program text, ring size,
+# params, index-array contents). A hit lets a run skip the enumeration
+# and request round entirely — the executor replays the cached schedule.
+_schedule_cache: dict = perf.register_cache(
+    "inspector", {}, persistent=True, key_fn=lambda key: key
+)
+
+
+def _schedule_key(
+    compiled: CompiledProgram,
+    nprocs: int,
+    params: dict[str, int],
+    sources: dict[str, IStructure],
+) -> str | None:
+    """Cache key for this run's schedules, or ``None`` if uncacheable.
+
+    Schedules are determined by the program (which fixes decomposition
+    and loop structure), the ring size, the scalar params (loop bounds),
+    and the *contents* of the index arrays. Those must all be entry
+    parameters for their contents to be digestible here; an index array
+    computed inside the program makes the run uncacheable (schedules are
+    still built and reused within the run, just not across runs).
+    """
+    index_arrays: set[str] = set()
+    for site in compiled.inspector_sites:
+        index_arrays.update(site["index_arrays"])
+    if not index_arrays.issubset(sources):
+        return None
+    h = hashlib.sha256()
+    from repro.spmd.pretty import pretty_program
+
+    h.update(pretty_program(compiled.program).encode())
+    h.update(json.dumps([nprocs, sorted(params.items())]).encode())
+    for name in sorted(index_arrays):
+        arr = sources[name]
+        h.update(name.encode())
+        h.update(repr(arr.shape).encode())
+        h.update(repr(arr.to_list(None)).encode())
+    return f"isched-{h.hexdigest()}"
 
 
 @dataclass
@@ -139,6 +182,21 @@ def execute(
 
     globals_: dict[str, object] = dict(params)
     globals_.update(extra_globals or {})
+    inspector_ctx: InspectorContext | None = None
+    schedule_key: str | None = None
+    if compiled.inspector_sites and INSPECTOR_GLOBAL not in globals_:
+        preplans = None
+        if perf.caches_enabled():
+            schedule_key = _schedule_key(compiled, nprocs, params, sources)
+            if schedule_key is not None:
+                cached = _schedule_cache.get(schedule_key)
+                if cached is not None:
+                    perf.hit("inspector")
+                    preplans = InspectorContext.load_plans(cached)
+                else:
+                    perf.miss("inspector")
+        inspector_ctx = InspectorContext(preplans)
+        globals_[INSPECTOR_GLOBAL] = inspector_ctx
     if specialize:
         from repro.core.specialize import specialize_for_rank
 
@@ -163,6 +221,16 @@ def execute(
             backend=backend,
             strict=strict,
             extract_args=extract_args,
+        )
+
+    if (
+        inspector_ctx is not None
+        and schedule_key is not None
+        and inspector_ctx.built
+        and perf.caches_enabled()
+    ):
+        _schedule_cache[schedule_key] = InspectorContext.dump_plans(
+            inspector_ctx.built
         )
 
     if result.backend == "replay":

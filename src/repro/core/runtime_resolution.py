@@ -122,6 +122,10 @@ class RuntimeResolver:
                 return [ir.NReturn(stmt.value.id)]
             pre, value = self.resolve_expr(stmt.value, "ALL", ctx)
             return pre + [ir.NReturn(value)]
+        if isinstance(stmt, ast.AccumStmt):
+            raise CompileError(
+                "accumulation ('+=') requires strategy='inspector'"
+            )
         raise CompileError(f"cannot resolve statement {stmt!r}")
 
     # -- scalar and array bindings ---------------------------------------------

@@ -176,6 +176,18 @@ def _children(node: object) -> tuple:
         return tuple(a for a in node.args if not isinstance(a, str))
     if isinstance(node, ir.NReturn):
         return (node.value,) if isinstance(node.value, ir.NExpr) else ()
+    if isinstance(node, ir.NIndirect):
+        return (node.index,)
+    if isinstance(node, ir.NResolve):
+        return (node.index,)
+    if isinstance(node, ir.NExchange):
+        return (node.owner, node.local) + node.enum_body
+    if isinstance(node, ir.NAccum):
+        return (node.index, node.value)
+    if isinstance(node, ir.NScatterFlush):
+        return (node.owner, node.local)
+    if isinstance(node, ir.NAccumLocal):
+        return node.indices + (node.value,)
     return ()
 
 
@@ -221,6 +233,8 @@ def _fold_expr(
         return ir.NBufRead(
             e.buf, tuple(_fold_expr(i, rank, nprocs, dep) for i in e.indices)
         )
+    if isinstance(e, ir.NIndirect):
+        return ir.NIndirect(e.sched, e.array, _fold_expr(e.index, rank, nprocs, dep))
     return e
 
 
@@ -370,4 +384,31 @@ def _fold_stmt(
         if stmt.value is None or isinstance(stmt.value, str):
             return [stmt]
         return [ir.NReturn(fold(stmt.value))]
+    if isinstance(stmt, ir.NResolve):
+        return [ir.NResolve(stmt.sched, fold(stmt.index))]
+    if isinstance(stmt, ir.NExchange):
+        return [
+            ir.NExchange(
+                stmt.sched,
+                stmt.array,
+                stmt.channel,
+                tuple(_fold_body(stmt.enum_body, rank, nprocs, dep)),
+                fold(stmt.owner),
+                fold(stmt.local),
+            )
+        ]
+    if isinstance(stmt, ir.NAccum):
+        return [ir.NAccum(stmt.sched, stmt.array, fold(stmt.index), fold(stmt.value))]
+    if isinstance(stmt, ir.NScatterFlush):
+        return [
+            ir.NScatterFlush(
+                stmt.sched, stmt.array, stmt.channel, fold(stmt.owner), fold(stmt.local)
+            )
+        ]
+    if isinstance(stmt, ir.NAccumLocal):
+        return [
+            ir.NAccumLocal(
+                stmt.array, tuple(fold(i) for i in stmt.indices), fold(stmt.value)
+            )
+        ]
     return [stmt]

@@ -28,6 +28,7 @@ from repro.distrib.builtin import (
     WrappedRows,
     WrappedVector,
     distribution_by_name,
+    register_distribution,
 )
 from repro.distrib.spec import DecompositionSpec
 
@@ -48,4 +49,5 @@ __all__ = [
     "WrappedRows",
     "WrappedVector",
     "distribution_by_name",
+    "register_distribution",
 ]

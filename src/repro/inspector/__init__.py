@@ -1,0 +1,24 @@
+"""Inspector/executor runtime for irregular (data-dependent) accesses.
+
+Affine decomposition places every reference at compile time; an indirect
+reference ``a[idx[i]]`` cannot be placed until ``idx``'s contents exist.
+This package implements the classic *inspector/executor* split: the
+inspector runs the access pattern once, resolves each global index to an
+owner rank, and coalesces the result into a per-channel communication
+schedule; the executor replays that schedule on every subsequent
+execution, so steady-state iterations send exactly the schedule's
+messages and no resolution traffic.
+
+The executor algorithms live in :mod:`repro.inspector.executor` and are
+shared — literally the same generators — by the tree-walking interpreter
+and the closure-compiling backend, which makes the two backends'
+virtual-time accounting identical by construction.
+:class:`~repro.inspector.context.InspectorContext` carries cached
+schedules into a run and collects freshly built ones out for the
+schedule cache (:mod:`repro.perf` / :mod:`repro.store`).
+"""
+
+from repro.inspector.context import INSPECTOR_GLOBAL, InspectorContext
+from repro.inspector.executor import ExchangeState
+
+__all__ = ["INSPECTOR_GLOBAL", "InspectorContext", "ExchangeState"]

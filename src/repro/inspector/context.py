@@ -1,0 +1,65 @@
+"""Schedule hand-off between the runner and the simulated processors.
+
+An :class:`InspectorContext` is injected into a run under the reserved
+global name ``__inspector__`` (the backends copy the globals *dict*, so
+the context object itself is shared with the caller). Before the run it
+carries *preplans* — schedules cached from an earlier run with the same
+index-array contents and decomposition; during the run each rank that
+has to build a schedule from scratch records it in ``built`` so the
+runner can persist it afterwards.
+"""
+
+from __future__ import annotations
+
+INSPECTOR_GLOBAL = "__inspector__"
+"""Reserved globals key under which the context rides into a run."""
+
+
+class InspectorContext:
+    """Carries preplanned schedules in and freshly built ones out.
+
+    ``preplans`` and ``built`` both map ``sched -> {rank: plan}`` where
+    ``plan`` is the JSON-safe dict produced by
+    :mod:`repro.inspector.executor` (gather or scatter shape). A rank
+    whose schedule appears in ``preplans`` skips enumeration and the
+    request round entirely; every schedule a rank builds in-simulation
+    lands in ``built``.
+    """
+
+    __slots__ = ("preplans", "built")
+
+    def __init__(self, preplans: dict[str, dict[int, dict]] | None = None):
+        self.preplans: dict[str, dict[int, dict]] = preplans or {}
+        self.built: dict[str, dict[int, dict]] = {}
+
+    def preplan_for(self, sched: str, rank: int) -> dict | None:
+        per_rank = self.preplans.get(sched)
+        if per_rank is None:
+            return None
+        return per_rank.get(rank)
+
+    def record(self, sched: str, rank: int, plan: dict) -> None:
+        self.built.setdefault(sched, {})[rank] = plan
+
+    # -- (de)serialization --------------------------------------------------
+    # ``{rank: plan}`` would come back from a JSON store with string keys,
+    # so the wire form uses rank/plan pair lists.
+    @staticmethod
+    def dump_plans(plans: dict[str, dict[int, dict]]) -> dict:
+        return {
+            sched: [[rank, plan] for rank, plan in sorted(per.items())]
+            for sched, per in plans.items()
+        }
+
+    @staticmethod
+    def load_plans(wire: dict) -> dict[str, dict[int, dict]]:
+        return {
+            sched: {int(rank): plan for rank, plan in pairs}
+            for sched, pairs in wire.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InspectorContext(preplans={sorted(self.preplans)}, "
+            f"built={sorted(self.built)})"
+        )

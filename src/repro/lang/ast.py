@@ -150,6 +150,22 @@ class AssignStmt(Stmt):
 
 
 @dataclass
+class AccumStmt(Stmt):
+    """``A[e] += v;`` — accumulate into an array element.
+
+    Unlike plain assignment, accumulation tolerates repeated updates to
+    one element: the first update defines it, later updates add to it.
+    This is the scatter-with-collisions primitive irregular apps
+    (histogram, sparse matvec) need; sequentially it behaves like
+    ``A[e] = A[e] + v`` except that the first update needs no prior
+    definition.
+    """
+
+    target: Index | None = None
+    value: Expr | None = None
+
+
+@dataclass
 class ForStmt(Stmt):
     """``for v = lo to hi [by step] { body }`` (bounds inclusive)."""
 
@@ -319,6 +335,9 @@ def stmt_exprs(stmt: Stmt):
     elif isinstance(stmt, AssignStmt):
         if isinstance(stmt.target, Index):
             yield from stmt.target.indices
+        yield stmt.value
+    elif isinstance(stmt, AccumStmt):
+        yield from stmt.target.indices
         yield stmt.value
     elif isinstance(stmt, ForStmt):
         yield stmt.lo

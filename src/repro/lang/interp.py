@@ -110,6 +110,16 @@ class _Interp:
                         f"{stmt.target.array!r} is not an I-structure"
                     )
                 array.write(*indices, value)
+        elif isinstance(stmt, ast.AccumStmt):
+            value = self.eval(stmt.value, frame)
+            array = self.lookup(stmt.target.array, frame, stmt)
+            indices = [self.eval(i, frame) for i in stmt.target.indices]
+            if not isinstance(array, IStructure):
+                raise InterpError(
+                    f"{stmt.target.array!r} is not an I-structure"
+                )
+            self.op_count += 1  # the implicit addition
+            array.accumulate(*indices, value)
         elif isinstance(stmt, ast.ForStmt):
             lo = self.eval(stmt.lo, frame)
             hi = self.eval(stmt.hi, frame)

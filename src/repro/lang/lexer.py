@@ -98,6 +98,11 @@ def tokenize(source: str) -> list[Token]:
             i += 2
             col += 2
             continue
+        if two == "+=":
+            push(TokenKind.PLUSEQ, two, start_line, start_col)
+            i += 2
+            col += 2
+            continue
         if ch == "<":
             push(TokenKind.LT, ch, start_line, start_col)
         elif ch == ">":

@@ -252,7 +252,7 @@ class _Parser:
         self.expect(T.SEMI, "';'")
         return ast.ReturnStmt(value=value, line=tok.line, col=tok.column)
 
-    def assign_stmt(self) -> ast.AssignStmt:
+    def assign_stmt(self) -> ast.AssignStmt | ast.AccumStmt:
         tok = self.expect(T.NAME)
         target: ast.Name | ast.Index
         if self.accept(T.LBRACKET):
@@ -263,6 +263,17 @@ class _Parser:
             )
         else:
             target = ast.Name(id=tok.text, line=tok.line, col=tok.column)
+        if self.at(T.PLUSEQ):
+            eq = self.advance()
+            if not isinstance(target, ast.Index):
+                raise ParseError(
+                    "'+=' target must be an array element", eq.line, eq.column
+                )
+            value = self.expr()
+            self.expect(T.SEMI, "';'")
+            return ast.AccumStmt(
+                target=target, value=value, line=tok.line, col=tok.column
+            )
         self.expect(T.ASSIGN, "'='")
         value = self.expr()
         self.expect(T.SEMI, "';'")

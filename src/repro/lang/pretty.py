@@ -68,6 +68,10 @@ def _unparse_stmt(stmt: ast.Stmt, indent: int, out: list[str]) -> None:
         out.append(f"{pad}let {stmt.name} = {unparse_expr(stmt.init)};")
     elif isinstance(stmt, ast.AssignStmt):
         out.append(f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.AccumStmt):
+        out.append(
+            f"{pad}{unparse_expr(stmt.target)} += {unparse_expr(stmt.value)};"
+        )
     elif isinstance(stmt, ast.ForStmt):
         header = f"{pad}for {stmt.var} = {unparse_expr(stmt.lo)} to {unparse_expr(stmt.hi)}"
         if stmt.step is not None:

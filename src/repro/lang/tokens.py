@@ -59,6 +59,7 @@ class TokenKind(Enum):
     GE = auto()  # >=
     GT = auto()  # >
     PLUS = auto()
+    PLUSEQ = auto()  # +=
     MINUS = auto()
     STAR = auto()
     SLASH = auto()

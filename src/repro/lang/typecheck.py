@@ -216,6 +216,13 @@ class _Checker:
             self.var_types.setdefault(proc.name, {})[stmt.name] = init_type
         elif isinstance(stmt, ast.AssignStmt):
             self._check_assign(stmt, scope)
+        elif isinstance(stmt, ast.AccumStmt):
+            value_type = self._check_expr(stmt.value, scope)
+            self._check_index_target(stmt.target, scope)
+            if value_type not in _NUMERIC:
+                raise CheckError(
+                    "accumulated values must be numeric", stmt.line, stmt.col
+                )
         elif isinstance(stmt, ast.ForStmt):
             for bound in (stmt.lo, stmt.hi, stmt.step):
                 if bound is None:

@@ -94,6 +94,25 @@ class IStructure:
         self._cells[offset] = value
         self._defined_count += 1
 
+    def accumulate(self, *args: Number) -> None:
+        """``A[i1, i2] += e`` — first update defines, later updates add.
+
+        The one sanctioned relaxation of write-once semantics: scatter
+        targets (histogram bins, sparse row sums) accumulate an
+        order-insensitive reduction instead of raising on the second
+        update. Reads still raise while the element is undefined, and
+        mixing ``=`` and ``+=`` on one element keeps the usual rules
+        (``=`` after any update raises as a second write).
+        """
+        *indices, value = args
+        offset = self._offset(tuple(int(i) for i in indices))
+        current = self._cells[offset]
+        if current is _UNDEFINED:
+            self._cells[offset] = value
+            self._defined_count += 1
+        else:
+            self._cells[offset] = current + value
+
     def is_defined(self, *indices: int) -> bool:
         return self._cells[self._offset(indices)] is not _UNDEFINED
 

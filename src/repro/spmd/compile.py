@@ -40,6 +40,8 @@ import operator
 from functools import lru_cache
 
 from repro.errors import NodeRuntimeError
+from repro.inspector import executor as ixec
+from repro.inspector.context import INSPECTOR_GLOBAL
 from repro.lang.builtins import apply_builtin, is_builtin
 from repro.machine import Compute, MachineParams, Recv, Send
 from repro.runtime import IStructure, LocalArray
@@ -61,7 +63,7 @@ class _State:
     """Per-run mutable state shared by every closure of one processor."""
 
     __slots__ = ("rank", "nprocs", "globals", "ops", "mems", "op_us",
-                 "mem_us", "depth")
+                 "mem_us", "depth", "exchanges")
 
     def __init__(self, rank, nprocs, op_us, mem_us, globals_):
         self.rank = rank
@@ -72,6 +74,14 @@ class _State:
         self.op_us = op_us
         self.mem_us = mem_us
         self.depth = 0
+        self.exchanges: dict[str, ixec.ExchangeState] = {}
+
+    # Minimal meter protocol for the shared inspector/executor leaves.
+    def charge_op(self, count: int = 1) -> None:
+        self.ops += count
+
+    def charge_mem(self, count: int = 1) -> None:
+        self.mems += count
 
 
 def _flush(st):
@@ -252,6 +262,8 @@ class _ProcContext:
                     array(stmt.array_result)
                 elif stmt.result is not None:
                     scalar(stmt.result.name)
+            elif isinstance(stmt, ir.NArrayAlias):
+                array(stmt.name)
         self.scalar_slots = scalars
         self.array_slots = arrays
         self.nslots = len(scalars) + len(arrays)
@@ -631,6 +643,14 @@ def _compile_expr(e, sc) -> _CExpr:
         return _compile_read(e.array, e.indices, sc, _array_getter)
     if isinstance(e, ir.NBufRead):
         return _compile_read(e.buf, e.indices, sc, _buffer_getter)
+    if isinstance(e, ir.NIndirect):
+        idxf = _charged(_compile_expr_cg(e.index, sc))
+        sched = e.sched
+
+        def fn(st, fr, _i=idxf, _e=e, _sched=sched):
+            gidx = _i(st, fr)
+            return ixec.indirect_read(st, st.exchanges.get(_sched), _e, gidx)
+        return _CExpr(fn, None, None)
 
     def fn(st, fr, _e=e):
         raise NodeRuntimeError(f"unknown expression {_e!r}", st.rank)
@@ -1070,6 +1090,18 @@ def _compile_stmt(stmt, sc):
         return _compile_return(stmt, sc)
     if isinstance(stmt, ir.NComment):
         return ("pure", _noop, 0, 0)
+    if isinstance(stmt, ir.NExchange):
+        return _compile_exchange(stmt, sc)
+    if isinstance(stmt, ir.NResolve):
+        return _compile_resolve(stmt, sc)
+    if isinstance(stmt, ir.NAccum):
+        return _compile_accum(stmt, sc)
+    if isinstance(stmt, ir.NScatterFlush):
+        return _compile_scatter_flush(stmt, sc)
+    if isinstance(stmt, ir.NAccumLocal):
+        return _compile_accum_local(stmt, sc)
+    if isinstance(stmt, ir.NArrayAlias):
+        return _compile_array_alias(stmt, sc)
 
     def run(st, fr, _s=stmt):
         raise NodeRuntimeError(f"unknown statement {_s!r}", st.rank)
@@ -1568,6 +1600,140 @@ def _compile_callproc(stmt, sc):
             result = yield from fn(st, args)
         bind(st, fr, result)
     return ("gen", g, None, None)
+
+
+class _CompiledAdapter:
+    """Adapter handing this backend's meters/frame to the shared executor.
+
+    Name lookups replicate the compiled name resolution (frame slot with
+    globals fallback) dynamically — they only run during the build phase,
+    never in the steady-state data phase.
+    """
+
+    __slots__ = ("st", "fr", "sc", "enumg")
+
+    def __init__(self, st, fr, sc, enumg=None):
+        self.st = st
+        self.fr = fr
+        self.sc = sc
+        self.enumg = enumg
+
+    @property
+    def rank(self):
+        return self.st.rank
+
+    @property
+    def nprocs(self):
+        return self.st.nprocs
+
+    def charge_op(self, count: int = 1) -> None:
+        self.st.ops += count
+
+    def charge_mem(self, count: int = 1) -> None:
+        self.st.mems += count
+
+    def flush(self):
+        return _flush(self.st)
+
+    def lookup(self, name: str):
+        slot = self.sc.scalar_slots.get(name)
+        if slot is not None:
+            value = self.fr[slot]
+            if value is not _UNSET:
+                return value
+        value = self.st.globals.get(name, _UNSET)
+        if value is _UNSET:
+            raise NodeRuntimeError(f"unbound variable {name!r}", self.st.rank)
+        return value
+
+    def get_array(self, name: str):
+        slot = self.sc.array_slots.get(name)
+        if slot is not None:
+            arr = self.fr[slot]
+            if arr is not _UNSET and arr is not None:
+                return arr
+        arr = self.st.globals.get(name)
+        if arr is None:
+            raise NodeRuntimeError(f"unknown array {name!r}", self.st.rank)
+        return arr
+
+    def run_enum(self, body):
+        # The enumeration body was compiled with the procedure; ``body``
+        # (the IR) is ignored in favour of the precompiled generator.
+        return self.enumg(self.st, self.fr)
+
+    def preplan(self, sched: str):
+        ctx = self.st.globals.get(INSPECTOR_GLOBAL)
+        if ctx is None:
+            return None
+        return ctx.preplan_for(sched, self.st.rank)
+
+    def record_built(self, sched: str, plan: dict) -> None:
+        ctx = self.st.globals.get(INSPECTOR_GLOBAL)
+        if ctx is not None:
+            ctx.record(sched, self.st.rank, plan)
+
+
+def _compile_exchange(stmt, sc):
+    enumg = _to_gen(_compile_body(list(stmt.enum_body), sc))
+    sched = stmt.sched
+
+    def g(st, fr, _stmt=stmt, _sched=sched, _enumg=enumg, _sc=sc):
+        state = ixec.get_state(st.exchanges, _sched)
+        ad = _CompiledAdapter(st, fr, _sc, _enumg)
+        yield from ixec.exec_exchange(ad, state, _stmt)
+    return ("gen", g, None, None)
+
+
+def _compile_resolve(stmt, sc):
+    idxf = _charged(_compile_expr_cg(stmt.index, sc))
+    sched = stmt.sched
+
+    def run(st, fr, _i=idxf, _sched=sched):
+        gidx = _i(st, fr)
+        ixec.resolve(st, ixec.get_state(st.exchanges, _sched), gidx)
+    return ("pure", run, None, None)
+
+
+def _compile_accum(stmt, sc):
+    idxf = _charged(_compile_expr_cg(stmt.index, sc))
+    valf = _charged(_compile_expr_cg(stmt.value, sc))
+    sched = stmt.sched
+
+    def run(st, fr, _i=idxf, _v=valf, _sched=sched):
+        gidx = _i(st, fr)
+        value = _v(st, fr)
+        ixec.accum(st, ixec.get_state(st.exchanges, _sched), gidx, value)
+    return ("pure", run, None, None)
+
+
+def _compile_scatter_flush(stmt, sc):
+    def g(st, fr, _stmt=stmt, _sc=sc):
+        state = ixec.get_state(st.exchanges, _stmt.sched)
+        ad = _CompiledAdapter(st, fr, _sc)
+        yield from ixec.exec_scatter_flush(ad, state, _stmt)
+    return ("gen", g, None, None)
+
+
+def _compile_accum_local(stmt, sc):
+    get = _array_getter(stmt.array, sc)
+    idxfs = tuple(_charged(_compile_expr_cg(i, sc)) for i in stmt.indices)
+    valf = _charged(_compile_expr_cg(stmt.value, sc))
+
+    def run(st, fr, _g=get, _fns=idxfs, _v=valf):
+        indices = tuple(f(st, fr) for f in _fns)
+        value = _v(st, fr)
+        ixec.accum_local(st, _g(st, fr), indices, value)
+    return ("pure", run, None, None)
+
+
+def _compile_array_alias(stmt, sc):
+    get = _array_getter(stmt.source, sc)
+    slot = sc.array_slots[stmt.name]
+
+    def run(st, fr, _g=get, _slot=slot):
+        fr[_slot] = _g(st, fr)
+    return ("pure", run, 0, 0)
 
 
 def _compile_return(stmt, sc):

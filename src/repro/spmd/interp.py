@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import NodeRuntimeError
+from repro.inspector import executor as ixec
+from repro.inspector.context import INSPECTOR_GLOBAL
 from repro.lang.builtins import apply_builtin, is_builtin
 from repro.machine import Compute, MachineParams, Recv, Send, SimResult, Simulator
 from repro.runtime import IStructure, LocalArray
@@ -72,6 +74,7 @@ class _NodeMachine:
         self.globals = dict(globals_)
         self.pending_cost = 0.0
         self.depth = 0
+        self.exchanges: dict[str, ixec.ExchangeState] = {}
 
     # -- cost plumbing -----------------------------------------------------
     def charge_op(self, count: int = 1) -> None:
@@ -219,6 +222,27 @@ class _NodeMachine:
             raise _Return(self.eval(stmt.value, frame))
         elif isinstance(stmt, ir.NComment):
             pass
+        elif isinstance(stmt, ir.NExchange):
+            state = ixec.get_state(self.exchanges, stmt.sched)
+            yield from ixec.exec_exchange(_InterpAdapter(self, frame), state, stmt)
+        elif isinstance(stmt, ir.NResolve):
+            gidx = self.eval(stmt.index, frame)
+            ixec.resolve(self, ixec.get_state(self.exchanges, stmt.sched), gidx)
+        elif isinstance(stmt, ir.NAccum):
+            gidx = self.eval(stmt.index, frame)
+            value = self.eval(stmt.value, frame)
+            ixec.accum(self, ixec.get_state(self.exchanges, stmt.sched), gidx, value)
+        elif isinstance(stmt, ir.NScatterFlush):
+            state = ixec.get_state(self.exchanges, stmt.sched)
+            yield from ixec.exec_scatter_flush(
+                _InterpAdapter(self, frame), state, stmt
+            )
+        elif isinstance(stmt, ir.NAccumLocal):
+            indices = tuple(self.eval(i, frame) for i in stmt.indices)
+            value = self.eval(stmt.value, frame)
+            ixec.accum_local(self, self.array(stmt.array, frame), indices, value)
+        elif isinstance(stmt, ir.NArrayAlias):
+            frame.arrays[stmt.name] = self.array(stmt.source, frame)
         else:
             raise NodeRuntimeError(f"unknown statement {stmt!r}", self.rank)
 
@@ -331,7 +355,67 @@ class _NodeMachine:
             indices = [self.eval(i, frame) for i in e.indices]
             self.charge_mem()
             return buf.read(*indices)
+        if isinstance(e, ir.NIndirect):
+            gidx = self.eval(e.index, frame)
+            return ixec.indirect_read(self, self.exchanges.get(e.sched), e, gidx)
         raise NodeRuntimeError(f"unknown expression {e!r}", self.rank)
+
+
+class _InterpAdapter:
+    """Backend adapter handed to the shared inspector/executor code.
+
+    Bundles the machine (rank, meters, flush) with the frame the
+    exchange executes in so templates and the enumeration body see the
+    right scalars and arrays.
+    """
+
+    __slots__ = ("machine", "frame")
+
+    def __init__(self, machine: _NodeMachine, frame: _Frame):
+        self.machine = machine
+        self.frame = frame
+
+    @property
+    def rank(self) -> int:
+        return self.machine.rank
+
+    @property
+    def nprocs(self) -> int:
+        return self.machine.nprocs
+
+    def charge_op(self, count: int = 1) -> None:
+        self.machine.charge_op(count)
+
+    def charge_mem(self, count: int = 1) -> None:
+        self.machine.charge_mem(count)
+
+    def flush(self):
+        return self.machine.flush()
+
+    def lookup(self, name: str):
+        machine = self.machine
+        if name in self.frame.scalars:
+            return self.frame.scalars[name]
+        if name in machine.globals:
+            return machine.globals[name]
+        raise NodeRuntimeError(f"unbound variable {name!r}", machine.rank)
+
+    def get_array(self, name: str):
+        return self.machine.array(name, self.frame)
+
+    def run_enum(self, body):
+        return self.machine.exec_body(list(body), self.frame)
+
+    def preplan(self, sched: str):
+        ctx = self.machine.globals.get(INSPECTOR_GLOBAL)
+        if ctx is None:
+            return None
+        return ctx.preplan_for(sched, self.machine.rank)
+
+    def record_built(self, sched: str, plan: dict) -> None:
+        ctx = self.machine.globals.get(INSPECTOR_GLOBAL)
+        if ctx is not None:
+            ctx.record(sched, self.machine.rank, plan)
 
 
 def _binop(op: str, left, right, rank: int):

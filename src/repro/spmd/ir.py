@@ -89,6 +89,21 @@ class NBufRead(NExpr):
     indices: tuple[NExpr, ...]
 
 
+@dataclass(frozen=True, slots=True)
+class NIndirect(NExpr):
+    """A gather read ``array[g]`` through a data-dependent *global* index.
+
+    The affine machinery cannot place ``g`` statically, so the value is
+    served from the ghost table that the matching :class:`NExchange`
+    (same ``sched``) filled: reading a global index the exchange never
+    fetched is a runtime error. Rank-1 arrays only.
+    """
+
+    sched: str
+    array: str
+    index: NExpr
+
+
 # ---------------------------------------------------------------------------
 # L-values (targets of assignment / receive)
 # ---------------------------------------------------------------------------
@@ -253,6 +268,107 @@ class NBroadcast(NStmt):
 
 
 @dataclass(frozen=True, slots=True)
+class NResolve(NStmt):
+    """Inspector enumeration leaf: record one needed global index.
+
+    Only meaningful inside an :class:`NExchange`'s ``enum_body``; the
+    executor appends ``index``'s value to the executing rank's need list
+    (first occurrence wins, duplicates are dropped).
+    """
+
+    sched: str
+    index: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NExchange(NStmt):
+    """Inspector/executor gather exchange for one irregular site.
+
+    Executed by every processor. On the first execution the inspector
+    runs: ``enum_body`` (a copy of the site's loop nest whose leaves are
+    :class:`NResolve` statements) enumerates the global indices this
+    rank will read, the ranks exchange request lists once on
+    ``channel + ".req"``, and the resulting schedule (who serves whom,
+    which elements, in what order) is retained under ``sched``. Every
+    execution — including the first — then replays the *data phase*:
+    one packed message per (server, needer) pair with a non-empty
+    element list on ``channel + ".dat"``, landing values in the ghost
+    table that :class:`NIndirect` reads. When a pre-planned schedule was
+    injected (a cache hit on the index-array digest), the enumeration
+    and request traffic are skipped entirely.
+
+    ``owner``/``local`` are the array's distribution templates over the
+    placeholder variable ``__gidx``.
+    """
+
+    sched: str
+    array: str
+    channel: str
+    enum_body: tuple[NStmt, ...]
+    owner: NExpr
+    local: NExpr
+
+    def __post_init__(self):
+        object.__setattr__(self, "enum_body", tuple(self.enum_body))
+
+
+@dataclass(frozen=True, slots=True)
+class NAccum(NStmt):
+    """Buffer one scatter contribution ``array[g] += value`` locally.
+
+    Contributions accumulate in issue order in the executor's buffer for
+    ``sched``; the matching :class:`NScatterFlush` routes and applies
+    them.
+    """
+
+    sched: str
+    array: str
+    index: NExpr
+    value: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NScatterFlush(NStmt):
+    """Route and apply the contributions buffered under ``sched``.
+
+    First execution resolves each buffered global index against the
+    ``owner`` template and exchanges per-destination index lists once on
+    ``channel + ".req"``; every execution sends one values-only packed
+    message per non-empty destination on ``channel + ".dat"`` and
+    applies contributions via I-structure accumulation (own
+    contributions in buffer order, then one message per sending rank in
+    rank order).
+    """
+
+    sched: str
+    array: str
+    channel: str
+    owner: NExpr
+    local: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NAccumLocal(NStmt):
+    """Owner-local accumulate ``array[locals] += value`` (no routing)."""
+
+    array: str
+    indices: tuple[NExpr, ...]
+    value: NExpr
+
+
+@dataclass(frozen=True, slots=True)
+class NArrayAlias(NStmt):
+    """Rebind array ``name`` to the object currently bound to ``source``.
+
+    The ping-pong step of iterative irregular kernels (``x = xn;``):
+    aliasing is a frame update, it moves no data and charges nothing.
+    """
+
+    name: str
+    source: str
+
+
+@dataclass(frozen=True, slots=True)
 class NCallProc(NStmt):
     """Invoke another node procedure.
 
@@ -369,6 +485,8 @@ def walk_stmts(body: list[NStmt]):
         elif isinstance(stmt, NIf):
             yield from walk_stmts(stmt.then_body)
             yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, NExchange):
+            yield from walk_stmts(stmt.enum_body)
 
 
 def walk_exprs(e: NExpr):
@@ -385,10 +503,16 @@ def walk_exprs(e: NExpr):
     elif isinstance(e, (NIsRead, NBufRead)):
         for a in e.indices:
             yield from walk_exprs(a)
+    elif isinstance(e, NIndirect):
+        yield from walk_exprs(e.index)
 
 
 def stmt_channels(stmt: NStmt) -> list[str]:
     """Channel names a statement communicates on (empty for local ops)."""
     if isinstance(stmt, (NSend, NRecv, NSendVec, NRecvVec, NCoerce, NBroadcast)):
         return [stmt.channel]
+    if isinstance(stmt, (NExchange, NScatterFlush)):
+        # The inspector's one-time request round and the executor's
+        # per-iteration data round use distinct derived channels.
+        return [stmt.channel + ".req", stmt.channel + ".dat"]
     return []

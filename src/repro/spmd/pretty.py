@@ -60,6 +60,8 @@ def pretty_expr(e: ir.NExpr, parent_prec: int = 0) -> str:
     if isinstance(e, ir.NBufRead):
         args = "][".join(pretty_expr(i) for i in e.indices)
         return f"{e.buf}[{args}]"
+    if isinstance(e, ir.NIndirect):
+        return f"gather({e.array}, {pretty_expr(e.index)})  /* {e.sched} */"
     raise TypeError(f"cannot pretty-print {e!r}")
 
 
@@ -165,6 +167,35 @@ def _emit(stmt: ir.NStmt, indent: int, out: list[str]) -> None:
             out.append(f"{pad}return({pretty_expr(stmt.value)});")
     elif isinstance(stmt, ir.NComment):
         out.append(f"{pad}/* {stmt.text} */")
+    elif isinstance(stmt, ir.NResolve):
+        out.append(f"{pad}resolve({stmt.sched}, {pretty_expr(stmt.index)});")
+    elif isinstance(stmt, ir.NExchange):
+        out.append(
+            f"{pad}exchange {stmt.sched} ({stmt.array}, "
+            f"owner={pretty_expr(stmt.owner)}, "
+            f"local={pretty_expr(stmt.local)}) {{  /* {stmt.channel} */"
+        )
+        for sub in stmt.enum_body:
+            _emit(sub, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ir.NAccum):
+        out.append(
+            f"{pad}accum({stmt.sched}, {stmt.array}, "
+            f"{pretty_expr(stmt.index)}, {pretty_expr(stmt.value)});"
+        )
+    elif isinstance(stmt, ir.NScatterFlush):
+        out.append(
+            f"{pad}scatter_flush({stmt.sched}, {stmt.array}, "
+            f"owner={pretty_expr(stmt.owner)}, "
+            f"local={pretty_expr(stmt.local)});  /* {stmt.channel} */"
+        )
+    elif isinstance(stmt, ir.NAccumLocal):
+        args = ", ".join(pretty_expr(i) for i in stmt.indices)
+        out.append(
+            f"{pad}is_accum({stmt.array}, {args}, {pretty_expr(stmt.value)});"
+        )
+    elif isinstance(stmt, ir.NArrayAlias):
+        out.append(f"{pad}{stmt.name} = {stmt.source};  /* array alias */")
     else:
         raise TypeError(f"cannot pretty-print statement {stmt!r}")
 

@@ -130,6 +130,48 @@ def _validate_stmt(
                     where + f"call to {stmt.proc}: parameter {pname!r} is a "
                     "scalar but got an array"
                 )
+    elif isinstance(stmt, ir.NExchange):
+        if not stmt.channel:
+            raise IRError(where + "exchange with empty channel name")
+        if not stmt.sched:
+            raise IRError(where + "exchange with empty schedule name")
+        resolves = [
+            s for s in ir.walk_stmts(stmt.enum_body)
+            if isinstance(s, ir.NResolve)
+        ]
+        if not resolves:
+            raise IRError(
+                where + f"exchange {stmt.sched!r} enumerates no indices"
+            )
+        for s in resolves:
+            if s.sched != stmt.sched:
+                raise IRError(
+                    where + f"exchange {stmt.sched!r} contains a resolve "
+                    f"for {s.sched!r}"
+                )
+        _validate_body(stmt.enum_body, proc, program, loop_vars)
+        return
+    elif isinstance(stmt, ir.NResolve):
+        if not stmt.sched:
+            raise IRError(where + "resolve with empty schedule name")
+    elif isinstance(stmt, ir.NAccum):
+        if not stmt.sched:
+            raise IRError(where + "accum with empty schedule name")
+    elif isinstance(stmt, ir.NScatterFlush):
+        if not stmt.channel:
+            raise IRError(where + "scatter flush with empty channel name")
+        if not stmt.sched:
+            raise IRError(where + "scatter flush with empty schedule name")
+    elif isinstance(stmt, ir.NAccumLocal):
+        if not stmt.indices:
+            raise IRError(
+                where + f"local accumulate into {stmt.array!r} with no indices"
+            )
+    elif isinstance(stmt, ir.NArrayAlias):
+        if not stmt.name or not stmt.source:
+            raise IRError(where + "array alias with empty name")
+        if stmt.name in loop_vars or stmt.source in loop_vars:
+            raise IRError(where + "array alias involves a loop variable")
     elif isinstance(stmt, (ir.NReturn, ir.NComment)):
         pass
     else:

@@ -15,7 +15,12 @@ This subsystem automates the choice:
 """
 
 from repro.tune.model import Prediction, predict
-from repro.tune.space import TuneConfig, default_space, retarget_source
+from repro.tune.space import (
+    TuneConfig,
+    default_space,
+    register_strategy,
+    retarget_source,
+)
 from repro.tune.search import Candidate, TuneReport, spearman, tune
 from repro.tune.serialize import candidate_payload, report_payload
 
@@ -24,6 +29,7 @@ __all__ = [
     "predict",
     "TuneConfig",
     "default_space",
+    "register_strategy",
     "retarget_source",
     "Candidate",
     "TuneReport",

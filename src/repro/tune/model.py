@@ -394,6 +394,26 @@ class _AbstractRank:
             raise _Return()
         elif isinstance(stmt, ir.NComment):
             pass
+        elif isinstance(
+            stmt,
+            (
+                ir.NExchange,
+                ir.NResolve,
+                ir.NAccum,
+                ir.NScatterFlush,
+                ir.NAccumLocal,
+            ),
+        ):
+            # Inspector/executor nodes: who talks to whom is decided by
+            # index-array *contents* at run time, which the abstract walk
+            # cannot see. Abstain — the caller reports this as an
+            # "analysis unavailable" diagnostic, never a wrong verdict.
+            raise ModelError(
+                "indirect access: communication schedule depends on "
+                "array data"
+            )
+        elif isinstance(stmt, ir.NArrayAlias):
+            frame.arrays[stmt.name] = _ARRAY
         else:
             raise NodeRuntimeError(f"unknown statement {stmt!r}", self.rank)
 
@@ -553,6 +573,11 @@ class _AbstractRank:
                 self.eval(index, frame)
             self.charge_mem()
             return UNKNOWN
+        if isinstance(e, ir.NIndirect):
+            raise ModelError(
+                "indirect access: communication schedule depends on "
+                "array data"
+            )
         raise NodeRuntimeError(f"unknown expression {e!r}", self.rank)
 
 

@@ -30,7 +30,7 @@ from repro import perf
 from repro.bench.harness import MeasurePoint
 from repro.core.compiler import compile_program_cached
 from repro.core.runner import execute
-from repro.errors import ReproError
+from repro.errors import ModelError, ReproError
 from repro.machine import MachineParams
 from repro.obs.utilization import comm_idle_fractions
 from repro.spmd.layout import make_full
@@ -52,12 +52,18 @@ class Candidate:
     config: TuneConfig
     predicted: Prediction | None = None
     error: str | None = None  # why it is infeasible (None when feasible)
+    abstained: str | None = None  # why the predictor declined to rank it
     measured: MeasurePoint | None = None
     spec: object = field(default=None, repr=False)  # DecompositionSpec
 
     @property
     def feasible(self) -> bool:
-        return self.predicted is not None and self.error is None
+        # A candidate the predictor *abstained* on (data-dependent
+        # communication) is still feasible — it just has to be confirmed
+        # by measurement instead of being ranked by the model.
+        if self.error is not None:
+            return False
+        return self.predicted is not None or self.abstained is not None
 
     @property
     def predicted_us(self) -> float | None:
@@ -91,7 +97,7 @@ class TuneReport:
     @property
     def spearman(self) -> float | None:
         """Rank agreement of predicted vs measured over the confirmed set."""
-        pts = self.confirmed
+        pts = [c for c in self.confirmed if c.predicted is not None]
         if len(pts) < 2:
             return None
         return spearman(
@@ -279,20 +285,30 @@ def tune(
                     first = verdict.errors[0]
                     cand.error = f"verify: {first.code} {first.message}"
                 else:
-                    cand.predicted = predict(
-                        compiled,
-                        config.nprocs,
-                        params={"N": n},
-                        machine=machine,
-                        extra_globals={"blksize": config.blksize},
-                    )
+                    try:
+                        cand.predicted = predict(
+                            compiled,
+                            config.nprocs,
+                            params={"N": n},
+                            machine=machine,
+                            extra_globals={"blksize": config.blksize},
+                        )
+                    except ModelError as err:
+                        # The walk abstained (data-dependent schedule):
+                        # fall back to measured confirmation for this
+                        # candidate instead of discarding it.
+                        cand.abstained = f"ModelError: {err}"
             except ReproError as err:
                 cand.error = f"{type(err).__name__}: {err}"
             candidates.append(cand)
 
+        # Model-ranked candidates first (cheapest predicted makespan),
+        # abstained candidates after them in space order.
         feasible = sorted(
             (c for c in candidates if c.feasible),
-            key=lambda c: c.predicted_us,
+            key=lambda c: (
+                c.predicted_us if c.predicted is not None else math.inf
+            ),
         )
         infeasible = [c for c in candidates if not c.feasible]
 

@@ -24,7 +24,33 @@ STRATEGIES: dict[str, tuple[Strategy, OptLevel]] = {
     "optI": (Strategy.COMPILE_TIME, OptLevel.VECTORIZE),
     "optII": (Strategy.COMPILE_TIME, OptLevel.JAM),
     "optIII": (Strategy.COMPILE_TIME, OptLevel.STRIPMINE),
+    "inspector": (Strategy.INSPECTOR, OptLevel.NONE),
 }
+
+# What ``default_space`` actually sweeps. Pinned explicitly (rather
+# than ``tuple(STRATEGIES)``) so registering an extra strategy widens
+# what the CLI/service *accept* without silently inflating every
+# default tuning run; "inspector" is excluded because it only pays off
+# on irregular programs, which the regular apps are not.
+DEFAULT_STRATEGIES = ("runtime", "compile", "optI", "optII", "optIII")
+
+
+def register_strategy(
+    name: str, strategy: Strategy, opt_level: OptLevel = OptLevel.NONE
+) -> None:
+    """Register a named (strategy, opt level) pair.
+
+    The tuner, the bench CLI, and the service submit schema all consult
+    :data:`STRATEGIES` live, so a newly registered strategy is accepted
+    everywhere without touching their code. Re-registering a name with
+    a different meaning is an error (idempotent re-registration is not:
+    plugins may be imported twice)."""
+    existing = STRATEGIES.get(name)
+    if existing is not None and existing != (strategy, opt_level):
+        raise TuneError(
+            f"strategy {name!r} is already registered as {existing}"
+        )
+    STRATEGIES[name] = (strategy, opt_level)
 
 # Distributions the default space searches. ``block_grid`` is excluded:
 # its owner expression is deliberately beyond the loop-bound solver
@@ -102,7 +128,7 @@ class TuneConfig:
 def default_space(
     proc_counts,
     dists=DEFAULT_DISTS,
-    strategies=tuple(STRATEGIES),
+    strategies=DEFAULT_STRATEGIES,
     blksizes=DEFAULT_BLKSIZES,
 ) -> list[TuneConfig]:
     """Enumerate distribution x strategy x S (x blksize for optIII).

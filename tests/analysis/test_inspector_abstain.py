@@ -1,0 +1,111 @@
+"""Analysis abstention on inspector-strategy programs.
+
+The static walker cannot enumerate data-dependent communication — the
+schedule literally depends on array contents it does not have. The
+sound behaviour is a clean abstention: one UNV001 *warning* per rank,
+``has_errors`` false, and **no** channel-balance / deadlock /
+I-structure verdicts at all (a wrong CB/DL/IS verdict on a program the
+simulator then runs fine would be a soundness bug). Each abstention is
+confirmed differentially: the simulated run must succeed and match the
+sequential oracle.
+"""
+
+import pytest
+
+from repro.analysis import Severity, verify_compiled
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import execute
+
+
+def _compile(mod):
+    return compile_program(
+        mod.SOURCE,
+        entry=mod.ENTRY,
+        entry_shapes=mod.ENTRY_SHAPES,
+        strategy=Strategy.INSPECTOR,
+        opt_level=OptLevel.NONE,
+    )
+
+
+def _histogram_case(n=32, m=8, nprocs=2):
+    from repro.apps import histogram
+
+    compiled = _compile(histogram)
+    params = {"N": n, "M": m}
+    inputs = histogram.make_inputs(n, m)
+    expected = histogram.reference(n, m, histogram.generate(n, m))
+    return compiled, params, inputs, expected
+
+
+class TestAbstention:
+    @pytest.mark.parametrize("nprocs", [2, 3])
+    def test_one_unv001_warning_per_rank(self, nprocs):
+        compiled, params, _, _ = _histogram_case(nprocs=nprocs)
+        report = verify_compiled(compiled, nprocs, params=params)
+        diags = report.by_code("UNV001")
+        assert sorted(d.rank for d in diags) == list(range(nprocs))
+        assert all(d.severity is Severity.WARNING for d in diags)
+        assert not report.has_errors
+
+    def test_abstention_names_the_cause(self):
+        compiled, params, _, _ = _histogram_case()
+        report = verify_compiled(compiled, 2, params=params)
+        for diag in report.by_code("UNV001"):
+            assert "indirect access" in diag.message
+            assert "verdicts are unavailable" in diag.message
+
+    def test_no_other_verdicts(self):
+        """Abstention means *silence* from the four passes — a CB/DL/IS
+        verdict computed from an incomplete walk would be a guess."""
+        compiled, params, _, _ = _histogram_case()
+        report = verify_compiled(compiled, 2, params=params)
+        assert {d.code for d in report.diagnostics} == {"UNV001"}
+
+    @pytest.mark.parametrize("app", ["spmv", "histogram", "mesh"])
+    def test_abstention_is_differentially_sound(self, app):
+        """The walker abstained; the simulator must then run the program
+        to completion with oracle-identical results — proving the missing
+        verdicts were abstention, not a swallowed error."""
+        import importlib
+
+        mod = importlib.import_module(f"repro.apps.{app}")
+        compiled = _compile(mod)
+        if app == "spmv":
+            inputs, nnz = mod.make_inputs(16)
+            params = {"N": 16, "NNZ": nnz, "T": 2}
+            rows, cols, vals = mod.generate(16)
+            expected = mod.reference(
+                16, rows, cols, vals, inputs["x"].to_list(), 2
+            )
+        elif app == "histogram":
+            inputs = mod.make_inputs(32, 8)
+            params = {"N": 32, "M": 8}
+            expected = mod.reference(32, 8, mod.generate(32, 8))
+        else:
+            inputs = mod.make_inputs(16)
+            params = {"N": 16, "T": 2}
+            expected = mod.reference(
+                16, mod.generate(16), inputs["x"].to_list(), 2
+            )
+        report = verify_compiled(compiled, 2, params=params)
+        assert report.by_code("UNV001")
+        assert not report.has_errors
+        outcome = execute(compiled, 2, inputs=inputs, params=params)
+        assert outcome.value.to_list() == expected
+
+    def test_affine_program_still_fully_verified(self):
+        """Abstention is per-construct: a program with no indirect access
+        keeps its full verdicts even when other runs abstained."""
+        from repro.apps import gauss_seidel as gs
+
+        compiled = compile_program(
+            gs.SOURCE,
+            strategy=Strategy.COMPILE_TIME,
+            opt_level=OptLevel.STRIPMINE,
+            entry_shapes={"Old": ("N", "N")},
+            assume_nprocs_min=2,
+        )
+        report = verify_compiled(
+            compiled, 4, params={"N": 12}, extra_globals={"blksize": 4}
+        )
+        assert not report.by_code("UNV001")

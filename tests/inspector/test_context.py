@@ -1,0 +1,54 @@
+"""InspectorContext: preplan lookup, build recording, and the JSON-safe
+wire form schedules travel through the artifact store in."""
+
+import json
+
+from repro.inspector.context import INSPECTOR_GLOBAL, InspectorContext
+
+
+GATHER_PLAN = {
+    "need_from": [[1, [5, 6]]],
+    "serve_to": [[2, [[1], [2]]]],
+    "own": [[3, [1]]],
+}
+SCATTER_PLAN = {
+    "n": 4,
+    "own_pos": [0, 2],
+    "own_loc": [1, 2],
+    "send_pos": [[1, [1, 3]]],
+    "recv_loc": [[2, [[4], [5]]]],
+}
+
+
+class TestContext:
+    def test_reserved_global_name(self):
+        assert INSPECTOR_GLOBAL == "__inspector__"
+
+    def test_preplan_lookup(self):
+        ctx = InspectorContext({"isched0": {0: GATHER_PLAN}})
+        assert ctx.preplan_for("isched0", 0) is GATHER_PLAN
+        assert ctx.preplan_for("isched0", 1) is None
+        assert ctx.preplan_for("isched9", 0) is None
+
+    def test_record_lands_in_built(self):
+        ctx = InspectorContext()
+        ctx.record("isched0", 0, GATHER_PLAN)
+        ctx.record("isched0", 1, SCATTER_PLAN)
+        assert ctx.built == {"isched0": {0: GATHER_PLAN, 1: SCATTER_PLAN}}
+        # Fresh contexts never see earlier recordings.
+        assert InspectorContext().built == {}
+
+    def test_dump_load_roundtrip(self):
+        plans = {
+            "isched0": {0: GATHER_PLAN, 1: SCATTER_PLAN},
+            "isched1": {2: GATHER_PLAN},
+        }
+        wire = InspectorContext.dump_plans(plans)
+        assert InspectorContext.load_plans(wire) == plans
+
+    def test_wire_form_survives_json(self):
+        """The store serializes to JSON, which stringifies int dict keys —
+        the pair-list wire form must round-trip through that unharmed."""
+        plans = {"isched0": {0: GATHER_PLAN, 3: SCATTER_PLAN}}
+        wire = json.loads(json.dumps(InspectorContext.dump_plans(plans)))
+        assert InspectorContext.load_plans(wire) == plans

@@ -1,0 +1,214 @@
+"""InspectorResolver: site metadata on compiled programs, and the V1
+restrictions — every unsupported shape must fail loudly at compile time
+(sound abstention), never miscompile."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.core.compiler import OptLevel, Strategy, compile_program
+
+
+def compile_inspector(source, shapes, strategy=Strategy.INSPECTOR):
+    return compile_program(
+        source,
+        strategy=strategy,
+        opt_level=OptLevel.NONE,
+        entry_shapes=shapes,
+    )
+
+
+GATHER = """
+param N;
+map a by block;
+map idx by block;
+map y by block;
+procedure f(a: vector, idx: vector) returns vector {
+    let y = vector(N);
+    for i = 1 to N {
+        y[i] = a[idx[i]];
+    }
+    return y;
+}
+"""
+
+SCATTER = """
+param N;
+param M;
+map bin by block;
+map h by block;
+procedure f(bin: vector) returns vector {
+    let h = vector(M);
+    for b = 1 to M {
+        h[b] += 0;
+    }
+    for i = 1 to N {
+        h[bin[i]] += 1;
+    }
+    return h;
+}
+"""
+
+
+class TestSiteMetadata:
+    def test_gather_site_recorded(self):
+        compiled = compile_inspector(GATHER, {"a": ("N",), "idx": ("N",)})
+        (site,) = compiled.inspector_sites
+        assert site["kind"] == "gather"
+        assert site["array"] == "a"
+        assert site["index_arrays"] == ["idx"]
+        assert site["sched"].startswith("isched")
+
+    def test_scatter_site_recorded(self):
+        compiled = compile_inspector(SCATTER, {"bin": ("N",)})
+        (site,) = compiled.inspector_sites
+        assert site["kind"] == "scatter"
+        assert site["array"] == "h"
+        assert site["index_arrays"] == ["bin"]
+
+    def test_affine_programs_have_no_sites(self):
+        from repro.apps import gauss_seidel as gs
+
+        compiled = compile_program(
+            gs.SOURCE,
+            strategy=Strategy.INSPECTOR,
+            entry_shapes={"Old": ("N", "N")},
+        )
+        assert compiled.inspector_sites == []
+
+    def test_spmv_has_gather_and_scatter(self):
+        from repro.apps import spmv
+
+        compiled = compile_inspector(spmv.SOURCE, spmv.ENTRY_SHAPES)
+        kinds = sorted(s["kind"] for s in compiled.inspector_sites)
+        assert kinds == ["gather", "scatter"]
+        by_kind = {s["kind"]: s for s in compiled.inspector_sites}
+        assert by_kind["gather"]["array"] == "x"
+        assert by_kind["gather"]["index_arrays"] == ["col"]
+        assert by_kind["scatter"]["array"] == "y"
+        assert by_kind["scatter"]["index_arrays"] == ["row"]
+
+
+class TestAbstentions:
+    """Unsupported shapes raise CompileError — the compiler never emits
+    code whose communication it cannot schedule."""
+
+    def test_nested_indirect_rejected(self):
+        source = """
+        param N;
+        map a by block;
+        map idx by block;
+        map b by block;
+        map y by block;
+        procedure f(a: vector, idx: vector, b: vector) returns vector {
+            let y = vector(N);
+            for i = 1 to N {
+                y[i] = a[idx[b[i]]];
+            }
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="nested indirect"):
+            compile_inspector(
+                source, {"a": ("N",), "idx": ("N",), "b": ("N",)}
+            )
+
+    def test_write_once_scatter_rejected(self):
+        source = """
+        param N;
+        map idx by block;
+        map y by block;
+        procedure f(idx: vector) returns vector {
+            let y = vector(N);
+            for i = 1 to N {
+                y[idx[i]] = i;
+            }
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="requires\\s+'\\+='"):
+            compile_inspector(source, {"idx": ("N",)})
+
+    def test_accum_requires_inspector_strategy(self):
+        with pytest.raises(CompileError, match="strategy='inspector'"):
+            compile_inspector(
+                SCATTER, {"bin": ("N",)}, strategy=Strategy.RUNTIME
+            )
+
+    def test_indirect_gather_from_matrix_rejected(self):
+        source = """
+        param N;
+        map A by wrapped_cols;
+        map idx by block;
+        map y by block;
+        procedure f(A: matrix, idx: vector) returns vector {
+            let y = vector(N);
+            for i = 1 to N {
+                y[i] = A[idx[i], 1];
+            }
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="rank-1"):
+            compile_inspector(source, {"A": ("N", "N"), "idx": ("N",)})
+
+    def test_gather_outside_loop_rejected(self):
+        source = """
+        param N;
+        map a by block;
+        map idx by block;
+        map y by block;
+        procedure f(a: vector, idx: vector) returns vector {
+            let y = vector(N);
+            y[1] = a[idx[1]];
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="outside a loop"):
+            compile_inspector(source, {"a": ("N",), "idx": ("N",)})
+
+    def test_scatter_outside_loop_rejected(self):
+        source = """
+        param N;
+        map a by block;
+        map idx by block;
+        map y by block;
+        procedure f(a: vector, idx: vector) returns vector {
+            let y = vector(N);
+            y[idx[1]] += 1;
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="outside a loop"):
+            compile_inspector(source, {"a": ("N",), "idx": ("N",)})
+
+    def test_indirect_on_all_processors_rejected(self):
+        source = """
+        param N;
+        map a by block;
+        map idx by block;
+        procedure f(a: vector, idx: vector) returns int {
+            return a[idx[1]];
+        }
+        """
+        with pytest.raises(
+            CompileError, match="all processors|outside a loop"
+        ):
+            compile_inspector(source, {"a": ("N",), "idx": ("N",)})
+
+    def test_indirect_proc_call_argument_rejected(self):
+        source = """
+        param N;
+        map a by block;
+        map idx by block;
+        map y by block;
+        procedure g(v: int) returns int { return v + 1; }
+        procedure f(a: vector, idx: vector) returns vector {
+            let y = vector(N);
+            for i = 1 to N {
+                y[i] = g(a[idx[i]]);
+            }
+            return y;
+        }
+        """
+        with pytest.raises(CompileError, match="procedure call"):
+            compile_inspector(source, {"a": ("N",), "idx": ("N",)})

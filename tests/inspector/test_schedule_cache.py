@@ -1,0 +1,133 @@
+"""The runner's persistent schedule cache.
+
+An inspector schedule is a pure function of (program text, ring size,
+scalar params, index-array contents); the runner digests exactly those
+into the cache key, so a later run — same process or a fresh one via
+the artifact-store spill tier — replays the schedule without paying the
+enumeration and request round again. Asserted through the public
+counters: ``perf.counter("inspector.hit"/"inspector.miss")`` and
+``perf.cache_stats()``.
+"""
+
+import pytest
+
+from repro import perf
+from repro.core.compiler import OptLevel, Strategy, compile_program
+from repro.core.runner import _schedule_cache, execute
+from repro.inspector.context import INSPECTOR_GLOBAL, InspectorContext
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """Point the spill tier at a private store and empty the memory tier."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    _schedule_cache.clear()
+    yield
+    _schedule_cache.clear()
+
+
+def _histogram(n=24, m=6):
+    from repro.apps import histogram
+
+    compiled = compile_program(
+        histogram.SOURCE,
+        entry=histogram.ENTRY,
+        entry_shapes=histogram.ENTRY_SHAPES,
+        strategy=Strategy.INSPECTOR,
+        opt_level=OptLevel.NONE,
+    )
+    params = {"N": n, "M": m}
+    expected = histogram.reference(n, m, histogram.generate(n, m))
+
+    def run(nprocs=2, seed=1, backend="compiled", **kw):
+        return execute(
+            compiled, nprocs,
+            inputs=histogram.make_inputs(n, m, seed),
+            params=params, backend=backend, **kw,
+        )
+
+    return run, expected
+
+
+def _deltas(fn):
+    before = (perf.counter("inspector.hit"), perf.counter("inspector.miss"))
+    result = fn()
+    return result, (
+        perf.counter("inspector.hit") - before[0],
+        perf.counter("inspector.miss") - before[1],
+    )
+
+
+class TestScheduleCache:
+    def test_miss_then_hit(self, fresh_cache):
+        run, expected = _histogram()
+        cold, (hits, misses) = _deltas(run)
+        assert (hits, misses) == (0, 1)
+        assert cold.value.to_list() == expected
+        warm, (hits, misses) = _deltas(run)
+        assert (hits, misses) == (1, 0)
+        assert warm.value.to_list() == expected
+        # The hit skipped the inspector's request round entirely.
+        assert warm.total_messages < cold.total_messages
+
+    def test_hit_visible_in_cache_stats(self, fresh_cache):
+        run, _ = _histogram()
+        run()
+        run()
+        stats = perf.cache_stats()["inspector"]
+        assert stats["hits"] >= 1
+        assert stats["entries"] >= 1
+
+    def test_key_covers_index_contents(self, fresh_cache):
+        """Different index-array contents must never reuse a schedule —
+        a stale schedule would route values to the wrong ranks."""
+        run, _ = _histogram()
+        run(seed=1)
+        _, (hits, misses) = _deltas(lambda: run(seed=2))
+        assert (hits, misses) == (0, 1)
+
+    def test_key_covers_ring_size(self, fresh_cache):
+        run, _ = _histogram()
+        run(nprocs=2)
+        _, (hits, misses) = _deltas(lambda: run(nprocs=3))
+        assert (hits, misses) == (0, 1)
+
+    def test_explicit_context_bypasses_cache(self, fresh_cache):
+        """A caller-supplied InspectorContext owns scheduling for that
+        run; the runner neither reads nor writes the cache."""
+        run, expected = _histogram()
+        ctx = InspectorContext()
+        outcome, (hits, misses) = _deltas(
+            lambda: run(extra_globals={INSPECTOR_GLOBAL: ctx})
+        )
+        assert (hits, misses) == (0, 0)
+        assert outcome.value.to_list() == expected
+        assert ctx.built  # the schedules went to the caller instead
+
+    def test_disabled_caches_still_correct(self, fresh_cache):
+        run, expected = _histogram()
+        with perf.caches_disabled():
+            outcome, (hits, misses) = _deltas(run)
+        assert (hits, misses) == (0, 0)
+        assert outcome.value.to_list() == expected
+
+    def test_schedule_survives_memory_tier_loss(self, fresh_cache):
+        """The spill tier: dropping the in-memory dict (a fresh process)
+        still hits, off the artifact store."""
+        run, expected = _histogram()
+        run()
+        _schedule_cache.clear()
+        warm, (hits, misses) = _deltas(run)
+        assert (hits, misses) == (1, 0)
+        assert warm.value.to_list() == expected
+
+    def test_backends_share_schedules(self, fresh_cache):
+        """The schedule is backend-independent: an interp run populates
+        the cache, a compiled run replays it (and vice versa)."""
+        run, expected = _histogram()
+        cold = run(backend="interp")
+        warm, (hits, misses) = _deltas(lambda: run(backend="compiled"))
+        assert (hits, misses) == (1, 0)
+        assert warm.value.to_list() == expected
+        assert cold.value.to_list() == expected
+        assert warm.total_messages < cold.total_messages

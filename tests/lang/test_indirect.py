@@ -1,0 +1,236 @@
+"""Indirect indexing at the language level: parse/unparse round-trips
+(including a hypothesis property over generated indirect-subscript
+programs), typechecking, and the sequential interpreter's gather and
+scatter-accumulate semantics — the oracle the SPMD backends are
+differentially tested against."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.lang import ast, check_program, run_sequential
+from repro.lang.parser import parse_program
+from repro.lang.pretty import unparse
+from repro.runtime import IStructure
+
+import pytest
+
+
+GATHER = """
+param N;
+map a by block;
+map idx by block;
+map y by block;
+procedure f(a: vector, idx: vector) returns vector {
+    let y = vector(N);
+    for i = 1 to N {
+        y[i] = a[idx[i]];
+    }
+    return y;
+}
+"""
+
+SCATTER = """
+param N;
+param M;
+map bin by block;
+map h by block;
+procedure f(bin: vector) returns vector {
+    let h = vector(M);
+    for b = 1 to M {
+        h[b] += 0;
+    }
+    for i = 1 to N {
+        h[bin[i]] += 1;
+    }
+    return h;
+}
+"""
+
+NESTED = """
+param N;
+map a by block;
+map idx by block;
+map b by block;
+map y by block;
+procedure f(a: vector, idx: vector, b: vector) returns vector {
+    let y = vector(N);
+    for i = 1 to N {
+        y[i] = a[idx[b[i]]];
+    }
+    return y;
+}
+"""
+
+
+def vec(values, name):
+    arr = IStructure((len(values),), name=name)
+    for k, v in enumerate(values):
+        arr.write(k + 1, v)
+    return arr
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [GATHER, SCATTER, NESTED])
+    def test_fixpoint(self, source):
+        first = unparse(parse_program(source))
+        second = unparse(parse_program(first))
+        assert first == second
+
+    def test_nested_subscript_preserved(self):
+        text = unparse(parse_program(NESTED))
+        assert "a[idx[b[i]]]" in text
+
+    def test_accumulate_preserved(self):
+        text = unparse(parse_program(SCATTER))
+        assert "h[bin[i]] += 1;" in text
+
+
+# ---------------------------------------------------------------------------
+# Property: parse(unparse(p)) == p over indirect-subscript programs.
+# Generated nodes carry line=col=0; parsing assigns real positions, so
+# the comparison strips them (uid is never compared).
+# ---------------------------------------------------------------------------
+
+
+def _strip_positions(node):
+    if isinstance(node, ast.Node):
+        kwargs = {
+            f.name: _strip_positions(getattr(node, f.name))
+            for f in dataclasses.fields(node)
+            if f.name not in ("line", "col", "uid")
+        }
+        return type(node)(**kwargs)
+    if isinstance(node, list):
+        return [_strip_positions(x) for x in node]
+    if isinstance(node, tuple):
+        return tuple(_strip_positions(x) for x in node)
+    return node
+
+
+_atoms = st.one_of(
+    st.integers(0, 9).map(lambda v: ast.IntLit(v)),
+    st.just(ast.Name("i")),
+)
+
+
+def _compound(children):
+    subscript = st.tuples(
+        st.sampled_from(["a", "idx", "b"]), children
+    ).map(lambda t: ast.Index(t[0], [t[1]]))
+    binary = st.tuples(
+        st.sampled_from(["+", "-", "*", "div", "mod"]), children, children
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2]))
+    negated = children.map(lambda e: ast.Unary("-", e))
+    return st.one_of(subscript, binary, negated)
+
+
+_exprs = st.recursive(_atoms, _compound, max_leaves=12)
+
+
+def _program(stmt: ast.Stmt) -> ast.Program:
+    return ast.Program(
+        decls=[
+            ast.ParamDecl("N"),
+            ast.MapDecl("a", ast.MapBy("block")),
+            ast.MapDecl("idx", ast.MapBy("block")),
+            ast.MapDecl("b", ast.MapBy("block")),
+            ast.MapDecl("y", ast.MapBy("block")),
+            ast.ProcDecl(
+                name="f",
+                params=[
+                    ast.Param("a", ast.Type.VECTOR),
+                    ast.Param("idx", ast.Type.VECTOR),
+                    ast.Param("b", ast.Type.VECTOR),
+                ],
+                returns=ast.Type.VECTOR,
+                body=[
+                    ast.LetStmt(
+                        "y", ast.AllocExpr(ast.Type.VECTOR, [ast.Name("N")])
+                    ),
+                    ast.ForStmt(
+                        var="i",
+                        lo=ast.IntLit(1),
+                        hi=ast.Name("N"),
+                        body=[stmt],
+                    ),
+                    ast.ReturnStmt(ast.Name("y")),
+                ],
+            ),
+        ]
+    )
+
+
+_stmts = st.one_of(
+    st.tuples(_exprs, _exprs).map(
+        lambda t: ast.AssignStmt(ast.Index("y", [t[0]]), t[1])
+    ),
+    st.tuples(_exprs, _exprs).map(
+        lambda t: ast.AccumStmt(ast.Index("y", [t[0]]), t[1])
+    ),
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_stmts)
+    def test_parse_unparse_identity(self, stmt):
+        program = _program(stmt)
+        assert _strip_positions(parse_program(unparse(program))) == \
+            _strip_positions(program)
+
+    def test_nested_indirect_example(self):
+        # The canonical nested case, spelled out: a[idx[b[i]]].
+        stmt = ast.AssignStmt(
+            ast.Index("y", [ast.Name("i")]),
+            ast.Index("a", [ast.Index("idx", [ast.Index("b", [ast.Name("i")])])]),
+        )
+        program = _program(stmt)
+        assert _strip_positions(parse_program(unparse(program))) == \
+            _strip_positions(program)
+
+
+class TestTypecheck:
+    def test_indirect_programs_typecheck(self):
+        for source in (GATHER, SCATTER, NESTED):
+            check_program(parse_program(source))
+
+    def test_accumulate_into_scalar_rejected(self):
+        source = """
+        procedure f() returns int {
+            let x = 0;
+            x += 1;
+            return x;
+        }
+        """
+        with pytest.raises(ParseError, match="array element"):
+            parse_program(source)
+
+
+class TestSequentialSemantics:
+    def test_gather_permutes(self):
+        checked = check_program(parse_program(GATHER))
+        a = vec([10, 20, 30, 40], "a")
+        idx = vec([4, 3, 2, 1], "idx")
+        result = run_sequential(checked, "f", args=[a, idx],
+                                params={"N": 4})
+        assert result.value.to_list() == [40, 30, 20, 10]
+
+    def test_scatter_accumulates_collisions(self):
+        checked = check_program(parse_program(SCATTER))
+        bins = vec([1, 2, 2, 3, 3, 3], "bin")
+        result = run_sequential(checked, "f", args=[bins],
+                                params={"N": 6, "M": 4})
+        assert result.value.to_list() == [1, 2, 3, 0]
+
+    def test_nested_gather(self):
+        checked = check_program(parse_program(NESTED))
+        a = vec([5, 6, 7], "a")
+        idx = vec([3, 1, 2], "idx")
+        b = vec([2, 3, 1], "b")
+        # y[i] = a[idx[b[i]]]: b=[2,3,1] -> idx[b[i]]=[1,2,3] -> a=[5,6,7].
+        result = run_sequential(checked, "f", args=[a, idx, b],
+                                params={"N": 3})
+        assert result.value.to_list() == [5, 6, 7]
