@@ -1,0 +1,420 @@
+"""Affine access-function extraction from mini-Id loop nests.
+
+The locality analyzer (:mod:`repro.analysis.locality`) reasons about
+*access functions*: for each array reference ``A[f(i,j), g(i,j)]`` inside
+a loop nest, the map from iteration space to data space. This module
+extracts them directly from the checked AST — no simulation, no IR walk —
+as :class:`LinearForm` objects (integer-linear combinations of loop
+variables and ``param`` symbols plus a constant).
+
+Soundness rule: anything we cannot prove affine is *not* guessed at.
+A subscript containing an indirect read (``a[idx[i]]``), a ``mod``, a
+non-constant multiplier, or a ``let``-bound scalar comes back as ``None``
+with a human-readable reason, and the analyzer treats the reference as
+opaque. See LANGUAGE.md ("Analyzable access forms") for the user-facing
+contract.
+
+Extraction inlines procedure calls (``call copy_boundary(Old, New)``):
+array formals are renamed to the caller's actuals and scalar formals are
+substituted by the affine form of the actual argument, so references in
+callees participate in the caller's alignment graph under their global
+array names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.typecheck import CheckedProgram
+
+
+class NonAffineAccess(Exception):
+    """A subscript (or bound) is not an integer-affine form."""
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """``sum(coeff * name) + const`` with integer coefficients.
+
+    ``terms`` is sorted by name so equal forms compare (and hash) equal.
+    Names may be loop variables or program ``param`` symbols; the
+    consumer distinguishes them with a loop-variable set.
+    """
+
+    terms: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "LinearForm":
+        return LinearForm((), value)
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "LinearForm":
+        if coeff == 0:
+            return LinearForm((), 0)
+        return LinearForm(((name, coeff),), 0)
+
+    @staticmethod
+    def _build(coeffs: dict[str, int], const: int) -> "LinearForm":
+        terms = tuple(
+            (name, c) for name, c in sorted(coeffs.items()) if c != 0
+        )
+        return LinearForm(terms, const)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def coeff(self, name: str) -> int:
+        for n, c in self.terms:
+            if n == name:
+                return c
+        return 0
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.terms)
+
+    def __add__(self, other: "LinearForm") -> "LinearForm":
+        coeffs = dict(self.terms)
+        for name, c in other.terms:
+            coeffs[name] = coeffs.get(name, 0) + c
+        return LinearForm._build(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinearForm") -> "LinearForm":
+        return self + other.scale(-1)
+
+    def scale(self, k: int) -> "LinearForm":
+        if k == 0:
+            return LinearForm((), 0)
+        return LinearForm(
+            tuple((n, c * k) for n, c in self.terms), self.const * k
+        )
+
+    def exact_div(self, k: int) -> "LinearForm":
+        """Floor division that is provably exact term-by-term."""
+        if k <= 0:
+            raise NonAffineAccess(f"division by non-positive constant {k}")
+        if self.const % k or any(c % k for _, c in self.terms):
+            raise NonAffineAccess(f"inexact integer division by {k}")
+        return LinearForm(
+            tuple((n, c // k) for n, c in self.terms), self.const // k
+        )
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        total = self.const
+        for name, c in self.terms:
+            total += c * env[name]
+        return total
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self.terms:
+            if not parts:
+                if c == 1:
+                    parts.append(name)
+                elif c == -1:
+                    parts.append(f"-{name}")
+                else:
+                    parts.append(f"{c}*{name}")
+            else:
+                sign = "+" if c > 0 else "-"
+                mag = abs(c)
+                parts.append(
+                    f" {sign} {name}" if mag == 1 else f" {sign} {mag}*{name}"
+                )
+        if self.const or not parts:
+            if not parts:
+                parts.append(str(self.const))
+            else:
+                sign = "+" if self.const > 0 else "-"
+                parts.append(f" {sign} {abs(self.const)}")
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One loop of the nest enclosing a reference, outermost first.
+
+    ``lo``/``hi`` are ``None`` when a bound is not affine (the volume
+    estimate then falls back to a nominal trip count).
+    """
+
+    var: str
+    lo: LinearForm | None
+    hi: LinearForm | None
+    step: int
+    line: int
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One array read/write with its per-dimension access functions."""
+
+    array: str
+    kind: str  # "read" | "write" | "accum"
+    subs: tuple[LinearForm | None, ...]
+    reasons: tuple[str | None, ...]  # why subs[k] is None, when it is
+    line: int
+    col: int
+
+    @property
+    def affine(self) -> bool:
+        return all(s is not None for s in self.subs)
+
+    def render(self) -> str:
+        inner = ", ".join(
+            str(s) if s is not None else f"<{r}>"
+            for s, r in zip(self.subs, self.reasons)
+        )
+        return f"{self.array}[{inner}]"
+
+
+@dataclass(frozen=True)
+class StatementAccess:
+    """All references of one statement, with its enclosing loop nest."""
+
+    proc: str
+    loops: tuple[LoopInfo, ...]
+    write: Reference | None  # array write/accum target, if any
+    reads: tuple[Reference, ...]
+    line: int
+
+
+@dataclass
+class _Ctx:
+    """Per-inlining walk context."""
+
+    proc: str
+    array_rename: dict[str, str] = field(default_factory=dict)
+    scalar_subst: dict[str, LinearForm | None] = field(default_factory=dict)
+    loop_vars: list[str] = field(default_factory=list)
+
+
+class _Extractor:
+    def __init__(self, checked: CheckedProgram):
+        self.checked = checked
+        self.consts = {
+            k: v
+            for k, v in checked.consts.items()
+            if isinstance(v, int) and not isinstance(v, bool)
+        }
+        self.params = set(checked.params)
+        self.out: list[StatementAccess] = []
+
+    # -- linear-form construction ------------------------------------
+
+    def _form(self, e: ast.Expr | None, ctx: _Ctx) -> LinearForm:
+        if e is None:
+            raise NonAffineAccess("missing expression")
+        if isinstance(e, ast.IntLit):
+            return LinearForm.constant(e.value)
+        if isinstance(e, ast.Name):
+            name = e.id
+            if name in ctx.loop_vars:
+                return LinearForm.var(name)
+            if name in ctx.scalar_subst:
+                bound = ctx.scalar_subst[name]
+                if bound is None:
+                    raise NonAffineAccess(
+                        f"argument bound to {name!r} is not affine"
+                    )
+                return bound
+            if name in self.consts:
+                return LinearForm.constant(self.consts[name])
+            if name in self.params:
+                return LinearForm.var(name)
+            raise NonAffineAccess(f"depends on local scalar {name!r}")
+        if isinstance(e, ast.Unary):
+            if e.op == "-":
+                return self._form(e.operand, ctx).scale(-1)
+            raise NonAffineAccess(f"operator {e.op!r}")
+        if isinstance(e, ast.Binary):
+            if e.op == "+":
+                return self._form(e.left, ctx) + self._form(e.right, ctx)
+            if e.op == "-":
+                return self._form(e.left, ctx) - self._form(e.right, ctx)
+            if e.op == "*":
+                left = self._form(e.left, ctx)
+                right = self._form(e.right, ctx)
+                if right.is_const:
+                    return left.scale(right.const)
+                if left.is_const:
+                    return right.scale(left.const)
+                raise NonAffineAccess("non-constant multiplier")
+            if e.op == "div":
+                left = self._form(e.left, ctx)
+                right = self._form(e.right, ctx)
+                if not right.is_const:
+                    raise NonAffineAccess("non-constant divisor")
+                return left.exact_div(right.const)
+            if e.op == "mod":
+                raise NonAffineAccess("modulo subscript")
+            raise NonAffineAccess(f"operator {e.op!r}")
+        if isinstance(e, ast.Index):
+            raise NonAffineAccess(f"indirect subscript via {e.array!r}")
+        if isinstance(e, ast.CallExpr):
+            raise NonAffineAccess(f"call to {e.func!r} in subscript")
+        raise NonAffineAccess(type(e).__name__)
+
+    # -- reference construction --------------------------------------
+
+    def _make_ref(self, node: ast.Index, kind: str, ctx: _Ctx) -> Reference:
+        subs: list[LinearForm | None] = []
+        reasons: list[str | None] = []
+        for sub in node.indices:
+            try:
+                subs.append(self._form(sub, ctx))
+                reasons.append(None)
+            except NonAffineAccess as exc:
+                subs.append(None)
+                reasons.append(str(exc))
+        return Reference(
+            array=ctx.array_rename.get(node.array, node.array),
+            kind=kind,
+            subs=tuple(subs),
+            reasons=tuple(reasons),
+            line=node.line,
+            col=node.col,
+        )
+
+    def _reads(self, e: ast.Expr | None, ctx: _Ctx, loops) -> list[Reference]:
+        """All Index reads under ``e``; user calls in expression
+        position are inlined as a side effect."""
+        refs: list[Reference] = []
+        for node in ast.walk_exprs(e):
+            if isinstance(node, ast.Index):
+                refs.append(self._make_ref(node, "read", ctx))
+            elif (
+                isinstance(node, ast.CallExpr)
+                and node.func in self.checked.procs
+            ):
+                self._enter_call(node.func, node.args, ctx, loops)
+        return refs
+
+    # -- statement walk ----------------------------------------------
+
+    def _emit(self, ctx, loops, write, reads, line) -> None:
+        if write is None and not reads:
+            return
+        self.out.append(
+            StatementAccess(
+                proc=ctx.proc,
+                loops=tuple(loops),
+                write=write,
+                reads=tuple(reads),
+                line=line,
+            )
+        )
+
+    def _enter_call(self, func: str, args, ctx: _Ctx, loops, stack=()) -> None:
+        callee = self.checked.procs.get(func)
+        if callee is None or func in stack:
+            return
+        rename: dict[str, str] = {}
+        subst: dict[str, LinearForm | None] = {}
+        for formal, actual in zip(callee.params, args):
+            if formal.type.is_array():
+                if isinstance(actual, ast.Name):
+                    rename[formal.name] = ctx.array_rename.get(
+                        actual.id, actual.id
+                    )
+                else:
+                    # Not a simple array name: keep the formal so the
+                    # callee's references still surface, just unaligned
+                    # with any declared map.
+                    rename[formal.name] = formal.name
+            else:
+                try:
+                    subst[formal.name] = self._form(actual, ctx)
+                except NonAffineAccess:
+                    subst[formal.name] = None
+        inner = _Ctx(
+            proc=func,
+            array_rename=rename,
+            scalar_subst=subst,
+            loop_vars=list(ctx.loop_vars),
+        )
+        self._walk_body(callee.body, inner, loops, stack + (func,))
+
+    def _walk_body(self, body, ctx: _Ctx, loops, stack) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ForStmt):
+                lo = hi = None
+                try:
+                    lo = self._form(stmt.lo, ctx)
+                except NonAffineAccess:
+                    pass
+                try:
+                    hi = self._form(stmt.hi, ctx)
+                except NonAffineAccess:
+                    pass
+                step = 1
+                if stmt.step is not None:
+                    try:
+                        form = self._form(stmt.step, ctx)
+                        step = form.const if form.is_const else 1
+                    except NonAffineAccess:
+                        step = 1
+                info = LoopInfo(
+                    var=stmt.var, lo=lo, hi=hi,
+                    step=max(1, step), line=stmt.line,
+                )
+                ctx.loop_vars.append(stmt.var)
+                self._walk_body(stmt.body, ctx, loops + [info], stack)
+                ctx.loop_vars.pop()
+            elif isinstance(stmt, ast.AssignStmt):
+                reads: list[Reference] = []
+                write = None
+                if isinstance(stmt.target, ast.Index):
+                    write = self._make_ref(stmt.target, "write", ctx)
+                    for sub in stmt.target.indices:
+                        for node in ast.walk_exprs(sub):
+                            if isinstance(node, ast.Index):
+                                reads.append(
+                                    self._make_ref(node, "read", ctx)
+                                )
+                reads.extend(self._reads(stmt.value, ctx, loops))
+                self._emit(ctx, loops, write, reads, stmt.line)
+            elif isinstance(stmt, ast.AccumStmt):
+                write = self._make_ref(stmt.target, "accum", ctx)
+                reads = []
+                for sub in stmt.target.indices:
+                    for node in ast.walk_exprs(sub):
+                        if isinstance(node, ast.Index):
+                            reads.append(self._make_ref(node, "read", ctx))
+                reads.extend(self._reads(stmt.value, ctx, loops))
+                self._emit(ctx, loops, write, reads, stmt.line)
+            elif isinstance(stmt, ast.LetStmt):
+                reads = self._reads(stmt.init, ctx, loops)
+                self._emit(ctx, loops, None, reads, stmt.line)
+            elif isinstance(stmt, ast.IfStmt):
+                reads = self._reads(stmt.cond, ctx, loops)
+                self._emit(ctx, loops, None, reads, stmt.line)
+                self._walk_body(stmt.then_body, ctx, loops, stack)
+                self._walk_body(stmt.else_body, ctx, loops, stack)
+            elif isinstance(stmt, ast.CallStmt):
+                reads = []
+                for arg in stmt.args:
+                    reads.extend(self._reads(arg, ctx, loops))
+                self._emit(ctx, loops, None, reads, stmt.line)
+                self._enter_call(stmt.func, stmt.args, ctx, loops, stack)
+            elif isinstance(stmt, ast.ReturnStmt):
+                reads = self._reads(stmt.value, ctx, loops)
+                self._emit(ctx, loops, None, reads, stmt.line)
+
+
+def extract_references(
+    checked: CheckedProgram, entry: str
+) -> list[StatementAccess]:
+    """Extract every array reference reachable from ``entry``.
+
+    Returns one :class:`StatementAccess` per reference-bearing statement
+    (calls inlined, arrays renamed to caller actuals), in source order.
+    """
+    extractor = _Extractor(checked)
+    ctx = _Ctx(proc=entry)
+    extractor._walk_body(
+        checked.proc(entry).body, ctx, [], (entry,)
+    )
+    return extractor.out

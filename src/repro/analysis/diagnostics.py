@@ -28,6 +28,10 @@ code        pass              meaning
 ``GC003``   guard-coverage    partner provably invalid for *every* rank
 ``UNV001``  (driver)          walk incomplete: data-dependent control
 ``UNV002``  (driver)          walk aborted by a structural runtime error
+``LOC001``  locality          one ranked candidate decomposition map
+``LOC002``  locality          reference pair forcing residual communication
+``LOC003``  locality          reference abstained from analysis (not affine)
+``LOC004``  locality          load imbalance detected on a distributed axis
 ==========  ================  =============================================
 """
 
@@ -153,18 +157,22 @@ class Report:
 PASSES: dict[str, object] = {}
 
 
-def register_pass(name: str):
+def register_pass(name: str, default: bool = True):
     """Register an analysis pass under a stable name.
 
     Passes run in registration order; each receives the shared
     :class:`~repro.analysis.verify.VerifyContext` and appends findings
-    to the :class:`Report`."""
+    to the :class:`Report`. ``default=False`` registers an *opt-in*
+    pass: the driver skips it unless the caller names it in
+    ``extra_passes`` (advisory analyses like ``locality`` must not turn
+    a clean safety verification into a non-empty report)."""
 
     def wrap(fn):
         if name in PASSES:
             raise ValueError(f"analysis pass {name!r} already registered")
         PASSES[name] = fn
         fn.pass_name = name
+        fn.default_enabled = default
         return fn
 
     return wrap
@@ -198,7 +206,19 @@ def render_text(report: Report, title: str = "verify") -> str:
 
 
 def render_json(report: Report, **extra) -> dict:
-    """JSON-safe payload (everything stringified where needed)."""
+    """JSON-safe payload (everything stringified where needed).
+
+    Diagnostics are sorted by ``(code, rank, path)`` — not emission
+    order — so the payload is byte-stable across runs and process
+    boundaries: ``bench verify --json`` dumps and service artifact
+    records diff clean even when pass scheduling or walk order shifts.
+    """
+    ordered = sorted(
+        report.diagnostics,
+        key=lambda d: (
+            d.code, d.rank is not None, d.rank or 0, d.path, d.message,
+        ),
+    )
     payload = {
         **extra,
         "metadata": _jsonable(report.metadata),
@@ -214,7 +234,7 @@ def render_json(report: Report, **extra) -> dict:
                 "path": list(d.path),
                 "details": _jsonable(d.details),
             }
-            for d in report.diagnostics
+            for d in ordered
         ],
     }
     # Round-trip through the encoder so callers can rely on dumpability.

@@ -18,6 +18,7 @@ congruence, solved with the symbolic engine's ``modular_inverse``.
 
 from __future__ import annotations
 
+import os
 from itertools import product
 from math import gcd
 
@@ -113,8 +114,25 @@ def block_witness(a_dims, b_dims) -> tuple[int, ...] | None:
 # Arrays up to this many elements use the materialized cell-set fast
 # path (set arithmetic in C); larger ones fall back to the symbolic
 # progression algebra below, which is size-independent but pays a
-# Python-level congruence solve per block pair.
+# Python-level congruence solve per block pair. Overridable per run via
+# REPRO_ANALYSIS_CELLSET_MAX (memory-constrained verifiers lower it;
+# benchmarking the symbolic path sets it to 0).
 CELL_LIMIT = 1 << 22
+
+
+def cell_limit() -> int:
+    """The active cell-set threshold, honouring the env override.
+
+    Read per :class:`Tracker` (not at import) so tests and operators
+    can flip ``REPRO_ANALYSIS_CELLSET_MAX`` without reloading the
+    module; junk values fall back to the built-in default."""
+    raw = os.environ.get("REPRO_ANALYSIS_CELLSET_MAX")
+    if raw is None:
+        return CELL_LIMIT
+    try:
+        return int(raw)
+    except ValueError:
+        return CELL_LIMIT
 
 
 class Tracker:
@@ -150,7 +168,7 @@ class Tracker:
         total = 1
         for size in self.shape:
             total *= size
-        if 0 < total <= CELL_LIMIT:
+        if 0 < total <= cell_limit():
             strides, acc = [], 1
             for size in reversed(self.shape):
                 strides.append(acc)

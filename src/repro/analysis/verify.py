@@ -15,6 +15,13 @@ non-positive step) yields an ``UNV002`` *error*, because the simulator
 would die on the same statement. Passes that need every rank's skeleton
 (channel balance, deadlock) stay silent when any rank aborted rather
 than reason from incomplete evidence.
+
+``UNV001`` abstentions are deduplicated: ranks that abort with the same
+cause at the same walk position share one diagnostic carrying the rank
+list, and when the compiled program recorded inspector sites
+(``compiled.inspector_sites``) the message names the specific indirect
+references — array, loop path, and source line — that force the
+abstention.
 """
 
 from __future__ import annotations
@@ -38,14 +45,16 @@ _PER_CODE_CAP = 10  # identical-shape findings kept per (code, rank)
 
 
 def _canonical_verify_key(key) -> str | None:
-    program, nprocs, machine, globals_items, inputs_items = key
+    program, nprocs, machine, globals_items, inputs_items, passes = key
     try:
         from repro.spmd import pretty_program
 
         text = pretty_program(program)
     except Exception:
         return None
-    rest = f"{nprocs}|{machine!r}|{globals_items!r}|{inputs_items!r}"
+    rest = (
+        f"{nprocs}|{machine!r}|{globals_items!r}|{inputs_items!r}|{passes!r}"
+    )
     if " at 0x" in rest:  # an object repr leaked an address: not stable
         return None
     return f"verify|{text}|{rest}"
@@ -61,10 +70,12 @@ class VerifyContext:
 
     __slots__ = (
         "program", "nprocs", "globals", "walkers", "events", "origins",
-        "aborted",
+        "aborted", "compiled",
     )
 
-    def __init__(self, program: ir.NodeProgram, nprocs: int, globals_):
+    def __init__(
+        self, program: ir.NodeProgram, nprocs: int, globals_, compiled=None
+    ):
         self.program = program
         self.nprocs = nprocs
         self.globals = dict(globals_)
@@ -72,6 +83,7 @@ class VerifyContext:
         self.events: list[list[tuple]] = []
         self.origins: list[list[tuple]] = []
         self.aborted: dict[int, str] = {}  # rank -> diagnostic code
+        self.compiled = compiled  # the CompiledProgram, when available
 
 
 def verify_compiled(
@@ -82,9 +94,14 @@ def verify_compiled(
     extra_globals: dict[str, object] | None = None,
     inputs: dict[str, object] | None = None,
     metadata: dict | None = None,
+    extra_passes: tuple[str, ...] = (),
 ) -> Report:
     """Statically verify ``compiled`` (a ``CompiledProgram`` or a bare
-    :class:`~repro.spmd.ir.NodeProgram`) on ``nprocs`` processors."""
+    :class:`~repro.spmd.ir.NodeProgram`) on ``nprocs`` processors.
+
+    ``extra_passes`` names opt-in registered passes (those declared with
+    ``register_pass(..., default=False)``, e.g. ``"locality"``) to run
+    in addition to the default safety passes."""
     program = getattr(compiled, "program", compiled)
     params = dict(params or {})
     param_names = getattr(compiled, "param_names", ())
@@ -109,6 +126,7 @@ def verify_compiled(
                 machine,
                 tuple(sorted(globals_.items())),
                 tuple(sorted(inputs.items())),
+                tuple(extra_passes),
             )
             cached = _verify_cache.get(key)
         except TypeError:  # unhashable globals/inputs: skip memoization
@@ -120,10 +138,16 @@ def verify_compiled(
         if key is not None:
             perf.miss("verify")
 
-    ctx = VerifyContext(program, nprocs, globals_)
+    ctx = VerifyContext(
+        program, nprocs, globals_,
+        compiled=compiled if compiled is not program else None,
+    )
 
     analysis = _Analysis(program)
     entry_proc = program.entry_proc()
+    # UNV001 abstentions grouped by (cause, walk position): identical
+    # sites across ranks collapse into one diagnostic with a rank list.
+    abstained: dict[tuple[str, tuple[str, ...]], list[int]] = {}
     for rank in range(nprocs):
         walker = VerifyWalk(
             program, rank, nprocs, machine, globals_, analysis
@@ -138,12 +162,9 @@ def verify_compiled(
             walker.run(args)
         except (ModelError, NotAffine) as err:
             ctx.aborted[rank] = "UNV001"
-            report.add(
-                "UNV001", Severity.WARNING, "driver",
-                f"rank {rank}: walk incomplete ({err}); balance and "
-                "deadlock verdicts are unavailable",
-                rank=rank, path=tuple(walker.path),
-            )
+            abstained.setdefault(
+                (str(err), tuple(walker.path)), []
+            ).append(rank)
         except NodeRuntimeError as err:
             ctx.aborted[rank] = "UNV002"
             report.add(
@@ -157,13 +178,58 @@ def verify_compiled(
         ctx.origins.append(walker.origins)
         _add_capped(report, walker.findings)
 
-    for pass_fn in PASSES.values():
-        pass_fn(ctx, report)
+    sites = _site_summaries(getattr(compiled, "inspector_sites", None))
+    for (cause, path), ranks in abstained.items():
+        site_note = f"; indirect site(s): {', '.join(sites)}" if sites else ""
+        report.add(
+            "UNV001", Severity.WARNING, "driver",
+            f"{_rank_list(ranks)}: walk incomplete ({cause}){site_note}; "
+            "balance and deadlock verdicts are unavailable",
+            path=path, ranks=list(ranks), sites=sites,
+        )
+
+    unknown = [
+        name for name in extra_passes
+        if name not in PASSES
+    ]
+    if unknown:
+        raise CompileError(f"unknown analysis pass(es) {unknown}")
+    for name, pass_fn in PASSES.items():
+        if getattr(pass_fn, "default_enabled", True) or name in extra_passes:
+            pass_fn(ctx, report)
     if key is not None:
         # Diagnostics are frozen dataclasses, safe to share between
         # reports; metadata stays per-call and is never cached.
         _verify_cache[key] = tuple(report.diagnostics)
     return report
+
+
+def _rank_list(ranks: list[int]) -> str:
+    """``rank 3`` / ``ranks 0-3`` / ``ranks 0,2,5`` — compact and exact."""
+    ranks = sorted(ranks)
+    if len(ranks) == 1:
+        return f"rank {ranks[0]}"
+    if ranks == list(range(ranks[0], ranks[-1] + 1)):
+        return f"ranks {ranks[0]}-{ranks[-1]}"
+    return "ranks " + ",".join(str(r) for r in ranks)
+
+
+def _site_summaries(sites) -> list[str]:
+    """One line per recorded indirect site: array, index arrays, loop
+    path, source line. Deduplicated preserving discovery order."""
+    out: list[str] = []
+    for site in sites or ():
+        arrays = "+".join(site.get("index_arrays") or ()) or "?"
+        text = f"{site.get('kind', '?')} {site.get('array', '?')}[{arrays}]"
+        path = site.get("path") or ()
+        if path:
+            text += f" in {' > '.join(path)}"
+        line = site.get("line") or 0
+        if line:
+            text += f" at line {line}"
+        if text not in out:
+            out.append(text)
+    return out
 
 
 def _add_capped(report: Report, findings) -> None:

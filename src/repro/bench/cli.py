@@ -13,7 +13,9 @@ Usage::
     python -m repro.bench replay [--full] [--json PATH]
     python -m repro.bench tune [--app gauss_seidel] [--n 48] [--procs 4]
                                [--top-k 3] [--dists ...] [--strategies ...]
-                               [--blksizes 1,2,4,8,16]
+                               [--blksizes 1,2,4,8,16] [--auto-maps]
+    python -m repro.bench maps [--app jacobi] [--n 48] [--nprocs 4]
+                               [--json PATH]
     python -m repro.bench verify [--app gauss_seidel] [--dist wrapped_cols]
                                  [--strategy optIII] [--n 48] [--nprocs 8]
                                  [--json PATH]
@@ -45,7 +47,18 @@ exits 0 when clean, 1 when any diagnostic is found, 2 on usage errors.
 The ``tune`` command searches distribution x strategy x blksize for the
 given app: it predicts every candidate with the analytic cost model
 (:mod:`repro.tune.model`), then confirms only the predicted-best
-``--top-k`` on the real simulator and prints the ranked report.
+``--top-k`` on the real simulator and prints the ranked report. With
+``--auto-maps`` the distribution axis is not searched from the default
+list but derived by the static locality analyzer from the program's own
+access functions (``--dists`` is ignored).
+
+The ``maps`` command runs the static locality analyzer
+(:mod:`repro.analysis.locality`) on one app without simulating it:
+prints the ranked derived decomposition maps with their LOC00x
+rationale, prices each derived map — and the hand-written one from the
+app's ``map ... by`` clause — with the analytic cost model, and exits 0
+when the derived set contains the hand map or predicts at least as
+fast, 1 otherwise.
 
 The ``replay`` command runs the replay backend's acceptance sweep
 (:mod:`repro.bench.replay_bench`) — fresh / warm / scalar-oracle /
@@ -493,24 +506,51 @@ def cmd_tune(args) -> None:
 
     source, entry, oracle = _tune_app(args.app)
     try:
-        space = default_space(
-            _parse_procs(args.procs),
-            dists=tuple(s for s in args.dists.split(",") if s),
-            strategies=tuple(s for s in args.strategies.split(",") if s),
-            blksizes=tuple(_parse_procs(args.blksizes)),
-        )
+        if args.auto_maps:
+            report = tune(
+                source,
+                args.n,
+                entry=entry,
+                proc_counts=tuple(_parse_procs(args.procs)),
+                top_k=args.top_k,
+                jobs=args.jobs,
+                backend=args.backend,
+                oracle=oracle,
+                auto_maps=True,
+                strategies=tuple(
+                    s for s in args.strategies.split(",") if s
+                ),
+                blksizes=tuple(_parse_procs(args.blksizes)),
+            )
+        else:
+            space = default_space(
+                _parse_procs(args.procs),
+                dists=tuple(s for s in args.dists.split(",") if s),
+                strategies=tuple(
+                    s for s in args.strategies.split(",") if s
+                ),
+                blksizes=tuple(_parse_procs(args.blksizes)),
+            )
+            report = tune(
+                source,
+                args.n,
+                entry=entry,
+                space=space,
+                top_k=args.top_k,
+                jobs=args.jobs,
+                backend=args.backend,
+                oracle=oracle,
+            )
     except TuneError as exc:
         args.parser.error(str(exc))
-    report = tune(
-        source,
-        args.n,
-        entry=entry,
-        space=space,
-        top_k=args.top_k,
-        jobs=args.jobs,
-        backend=args.backend,
-        oracle=oracle,
-    )
+    if report.auto_maps:
+        print(
+            "auto-derived maps: "
+            + ", ".join(
+                f"#{m['rank']} {m['dist']} (score {m['score']})"
+                for m in report.auto_maps
+            )
+        )
 
     rows = []
     shown = 0
@@ -640,6 +680,172 @@ def cmd_verify(args) -> int:
             payload["profile"] = perf.snapshot()
         _dump_json(payload, args.json)
     return 1 if report.diagnostics else 0
+
+
+def _maps_app(name: str):
+    """Resolve an app name to (source, compile kwargs) for the analyzer."""
+    if name == "gauss_seidel":
+        from repro.apps import gauss_seidel as app
+
+        return app.SOURCE, dict(entry_shapes={"Old": ("N", "N")})
+    if name == "jacobi":
+        from repro.apps import jacobi as app
+
+        return app.SOURCE_WRAPPED, dict(
+            entry="jacobi_step", entry_shapes={"Old": ("N", "N")}
+        )
+    if name == "matmul":
+        from repro.apps import matmul as app
+
+        return app.SOURCE, dict(
+            entry_shapes={"A": ("N", "N"), "B": ("N", "N")}
+        )
+    from repro.apps import triangular as app
+
+    return app.SOURCE, {}
+
+
+def _hand_dist(source: str) -> str | None:
+    """The program's own ``map ... by`` distribution, if it names one."""
+    import re
+
+    match = re.search(r"\bmap\s+\w+\s+by\s+(\w+(?:\([^)]*\))?)", source)
+    return match.group(1) if match else None
+
+
+def cmd_maps(args) -> int:
+    """Derive decomposition maps statically and price them.
+
+    Exit codes: 0 when the derived set contains the hand-written map or
+    a map whose predicted makespan is at least as good, 1 otherwise,
+    2 for usage errors (argparse). CI keys on these.
+    """
+    from repro.analysis import analyze, render_json, render_text
+    from repro.core.compiler import compile_program_cached
+    from repro.errors import ReproError
+    from repro.tune.model import predict
+    from repro.tune.space import STRATEGIES, retarget_source
+
+    source, extra = _maps_app(args.app)
+    result = analyze(source)
+    hand = _hand_dist(source)
+
+    strategy, opt_level = STRATEGIES["compile"]
+
+    def predicted_us(dist: str) -> float | None:
+        try:
+            compiled = compile_program_cached(
+                retarget_source(source, dist),
+                strategy=strategy,
+                opt_level=opt_level,
+                assume_nprocs_min=2 if args.nprocs >= 2 else 1,
+                **extra,
+            )
+            est = predict(
+                compiled,
+                args.nprocs,
+                params={"N": args.n},
+                extra_globals={"blksize": args.blksize},
+            )
+        except ReproError as exc:
+            print(f"maps: {args.app} {dist}: {type(exc).__name__}: {exc}")
+            return None
+        return est.makespan_us
+
+    rows, priced = [], {}
+    for cand in result.candidates:
+        us = predicted_us(cand.dist)
+        priced[cand.dist] = us
+        rows.append(
+            {
+                "rank": cand.rank,
+                "dist": cand.dist,
+                "score": f"{cand.score:.1f}",
+                "predicted_ms": f"{us / 1000:.2f}" if us is not None else "-",
+                "rationale": cand.rationale,
+            }
+        )
+    hand_us = None
+    if hand is not None and hand not in priced:
+        hand_us = predicted_us(hand)
+        rows.append(
+            {
+                "rank": "-",
+                "dist": hand,
+                "score": "-",
+                "predicted_ms": (
+                    f"{hand_us / 1000:.2f}" if hand_us is not None else "-"
+                ),
+                "rationale": "hand-written map (not derived)",
+            }
+        )
+    elif hand is not None:
+        hand_us = priced[hand]
+    title = (
+        f"maps {args.app} (N={args.n}, S={args.nprocs}): "
+        f"{len(result.candidates)} derived, entry={result.entry}"
+    )
+    print(
+        format_table(
+            rows,
+            ["rank", "dist", "score", "predicted_ms", "rationale"],
+            title,
+        )
+    )
+    if result.report.diagnostics:
+        print()
+        print(render_text(result.report, title=f"locality {args.app}"))
+
+    derived_best = min(
+        (us for dist, us in priced.items() if us is not None),
+        default=None,
+    )
+    hand_in_derived = hand is not None and hand in result.dists
+    beats_hand = (
+        hand_us is not None
+        and derived_best is not None
+        and derived_best <= hand_us
+    )
+    ok = hand is None or hand_in_derived or beats_hand
+    if hand_in_derived:
+        print(f"gate: hand map {hand} is in the derived set -> ok")
+    elif beats_hand:
+        print(
+            f"gate: derived best {derived_best / 1000:.2f} ms <= "
+            f"hand {hand} {hand_us / 1000:.2f} ms -> ok"
+        )
+    elif hand is None:
+        print("gate: no hand-written map to compare against -> ok")
+    else:
+        print(
+            f"gate: derived set neither contains {hand} nor predicts "
+            "at least as fast -> FAIL"
+        )
+    _print_profile(args)
+    if args.json:
+        payload = {
+            "command": "maps",
+            "app": args.app,
+            "n": args.n,
+            "nprocs": args.nprocs,
+            "entry": result.entry,
+            "abstained": result.abstained,
+            "candidates": [
+                dict(c.to_json(), predicted_us=priced.get(c.dist))
+                for c in result.candidates
+            ],
+            "hand": {"dist": hand, "predicted_us": hand_us},
+            "gate": {
+                "hand_in_derived": hand_in_derived,
+                "derived_best_us": derived_best,
+                "ok": ok,
+            },
+            "diagnostics": render_json(result.report)["diagnostics"],
+        }
+        if args.profile:
+            payload["profile"] = perf.snapshot()
+        _dump_json(payload, args.json)
+    return 0 if ok else 1
 
 
 def cmd_irregular(args) -> int:
@@ -791,6 +997,7 @@ def main(argv: list[str] | None = None) -> int:
         ("replay", cmd_replay),
         ("tune", cmd_tune),
         ("verify", cmd_verify),
+        ("maps", cmd_maps),
         ("irregular", cmd_irregular),
     ):
         cmd = sub.add_parser(name)
@@ -868,6 +1075,18 @@ def main(argv: list[str] | None = None) -> int:
                 help="distribution to verify under "
                      "(e.g. wrapped_cols, block_rows, block_cyclic_cols:4)",
             )
+        if name == "maps":
+            cmd.set_defaults(nprocs=4)
+            cmd.add_argument(
+                "--app",
+                choices=["gauss_seidel", "jacobi", "matmul", "triangular"],
+                default="jacobi",
+            )
+            cmd.add_argument(
+                "--json", type=str, default=None, metavar="PATH",
+                help="also dump the derived maps and gate verdict as "
+                     "JSON ('-' for stdout)",
+            )
         if name == "trace":
             cmd.add_argument(
                 "--app",
@@ -906,6 +1125,11 @@ def main(argv: list[str] | None = None) -> int:
                 "--blksizes", type=str, default="1,2,4,8,16",
                 metavar="B1,B2,...",
                 help="strip-mining block sizes to search (Optimized III)",
+            )
+            cmd.add_argument(
+                "--auto-maps", action="store_true",
+                help="derive the distribution axis with the static "
+                     "locality analyzer instead of --dists",
             )
 
     cmd = sub.add_parser(

@@ -169,7 +169,7 @@ def compile_program_cached(
 # store's corrupt-entry handling cannot catch — so the tag goes in the
 # key and stale entries simply miss. Bump when CompiledProgram or the
 # IR it embeds changes shape.
-_COMPILE_SCHEMA = 2
+_COMPILE_SCHEMA = 3  # 3: inspector_sites carry line/col/loop path
 
 
 def _canonical_compile_key(key) -> str:

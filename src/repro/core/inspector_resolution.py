@@ -101,6 +101,7 @@ class InspectorResolver(RuntimeResolver):
         super().__init__(checked, spec, array_info)
         self.inspector_sites: list[dict] = []
         self._loop_stack: list[_LoopRecord] = []
+        self._loop_vars: list[str] = []  # enclosing loop path, outer first
         self._eval_stack: list[ir.NExpr] = []
         self._site_counter = 0
 
@@ -122,10 +123,12 @@ class InspectorResolver(RuntimeResolver):
         )
         record = _LoopRecord()
         self._loop_stack.append(record)
+        self._loop_vars.append(stmt.var)
         try:
             body = self.gen_body(stmt.body, ctx.inside_loop(stmt.var))
         finally:
             self._loop_stack.pop()
+            self._loop_vars.pop()
         out: list[ir.NStmt] = []
         for site in record.gathers:
             enum_loop = ir.NFor(stmt.var, lo, hi, step, site.enum_stmts)
@@ -249,7 +252,7 @@ class InspectorResolver(RuntimeResolver):
         self._loop_stack[-1].scatters.append(
             _ScatterSite(sched, target.array, channel, owner_t, local_t)
         )
-        self._record_site(sched, "scatter", target.array, idx_expr)
+        self._record_site(sched, "scatter", target.array, idx_expr, target)
         return out
 
     # -- expressions ---------------------------------------------------------
@@ -340,12 +343,17 @@ class InspectorResolver(RuntimeResolver):
             _GatherSite(sched, node.array, channel, owner_t, local_t,
                         enum_stmts)
         )
-        self._record_site(sched, "gather", node.array, idx_expr)
+        self._record_site(sched, "gather", node.array, idx_expr, node)
         return ir.NIndirect(sched, node.array, ival)
 
     # -- helpers -------------------------------------------------------------
     def _record_site(
-        self, sched: str, kind: str, array: str, idx_expr: ast.Expr
+        self,
+        sched: str,
+        kind: str,
+        array: str,
+        idx_expr: ast.Expr,
+        node: ast.Node,
     ) -> None:
         index_arrays = sorted(
             {
@@ -360,6 +368,11 @@ class InspectorResolver(RuntimeResolver):
                 "kind": kind,
                 "array": array,
                 "index_arrays": index_arrays,
+                # Source span + loop path: UNV001 abstentions cite the
+                # exact indirect reference instead of a generic warning.
+                "line": node.line,
+                "col": node.col,
+                "path": [f"for {v}" for v in self._loop_vars],
             }
         )
 

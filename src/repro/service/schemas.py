@@ -23,7 +23,8 @@ from repro.errors import TuneError
 from repro.tune.space import STRATEGIES, parse_dist
 
 #: Part of every canonical key: bump to orphan all previous artifacts.
-SERVICE_VERSION = 1
+#: v2: tune rankings can be auto-derived (``tune.auto_maps``).
+SERVICE_VERSION = 2
 
 #: Default guard rails; the service config can tighten or relax them.
 MAX_SOURCE_BYTES = 256 * 1024
@@ -70,6 +71,7 @@ class TuneSpec:
     dists: "tuple[str, ...]" = ()  # empty = just the submitted dist
     strategies: "tuple[str, ...]" = ()  # empty = all five
     blksizes: "tuple[int, ...]" = ()  # empty = just the submitted blksize
+    auto_maps: bool = False  # derive the dist axis statically
 
     def canonical(self) -> str:
         if not self.enabled:
@@ -78,6 +80,7 @@ class TuneSpec:
             f"k={self.top_k};d={','.join(self.dists)};"
             f"s={','.join(self.strategies)};"
             f"b={','.join(map(str, self.blksizes))}"
+            f";am={int(self.auto_maps)}"
         )
 
 
@@ -192,11 +195,22 @@ class SubmitRequest:
                 "tune", f"expected false or an options object, got {value!r}"
             )
         unknown = sorted(
-            set(value) - {"top_k", "dists", "strategies", "blksizes"}
+            set(value)
+            - {"top_k", "dists", "strategies", "blksizes", "auto_maps"}
         )
         if unknown:
             raise SchemaError(f"tune.{unknown[0]}", "unknown field")
         top_k = _require_int(value, "top_k", 1, 0, 16)
+        auto_maps = value.get("auto_maps", False)
+        if not isinstance(auto_maps, bool):
+            raise SchemaError(
+                "tune.auto_maps", f"expected a boolean, got {auto_maps!r}"
+            )
+        if auto_maps and "dists" in value:
+            raise SchemaError(
+                "tune.auto_maps",
+                "derives the distribution axis; drop tune.dists",
+            )
         dists = (
             _require_str_list(value["dists"], "tune.dists")
             if "dists" in value else ()
@@ -231,6 +245,7 @@ class SubmitRequest:
         return TuneSpec(
             enabled=True, top_k=top_k, dists=dists,
             strategies=strategies, blksizes=blksizes,
+            auto_maps=auto_maps,
         )
 
     # -- identity ------------------------------------------------------
@@ -283,6 +298,7 @@ class SubmitRequest:
                     "dists": list(self.tune.dists),
                     "strategies": list(self.tune.strategies),
                     "blksizes": list(self.tune.blksizes),
+                    "auto_maps": self.tune.auto_maps,
                 }
                 if self.tune.enabled else False
             ),

@@ -30,12 +30,15 @@ from repro import perf
 from repro.bench.harness import MeasurePoint
 from repro.core.compiler import compile_program_cached
 from repro.core.runner import execute
-from repro.errors import ModelError, ReproError
+from repro.errors import ModelError, ReproError, TuneError
 from repro.machine import MachineParams
 from repro.obs.utilization import comm_idle_fractions
 from repro.spmd.layout import make_full
 from repro.tune.model import Prediction, predict
 from repro.tune.space import (
+    DEFAULT_BLKSIZES,
+    DEFAULT_DISTS,
+    DEFAULT_STRATEGIES,
     STRATEGIES,
     TuneConfig,
     default_space,
@@ -84,6 +87,10 @@ class TuneReport:
     simulations: int  # full simulator runs spent
     space_size: int
     machine: MachineParams
+    # Provenance when the distribution axis was derived statically
+    # (``tune(auto_maps=True)``): one jsonable dict per locality-ranked
+    # candidate map. None when the caller supplied the space.
+    auto_maps: list[dict] | None = None
 
     @property
     def chosen_spec(self):
@@ -239,6 +246,10 @@ def tune(
     backend: str = "compiled",
     oracle=None,
     entry_shapes: dict[str, tuple] | None = None,
+    auto_maps: bool = False,
+    dists=None,
+    strategies=None,
+    blksizes=None,
 ) -> TuneReport:
     """Find the best ``<map, local, alloc>`` / strategy / blksize choice.
 
@@ -250,10 +261,47 @@ def tune(
     next one). ``oracle(n, old_rows)`` optionally verifies each
     confirmed run against a sequential reference. ``jobs > 1`` confirms
     candidates in parallel worker processes.
+
+    ``auto_maps=True`` replaces the distribution axis with maps derived
+    by the static locality analyzer (:func:`repro.analysis.derive_maps`)
+    from the program's own access functions — the programmer does not
+    supply a ``map`` choice at all. ``dists``/``strategies``/``blksizes``
+    narrow the corresponding :func:`~repro.tune.space.default_space`
+    axes when ``space`` is not given.
     """
     machine = machine or MachineParams.ipsc2()
+    derived = None
+    if auto_maps:
+        if space is not None or dists is not None:
+            raise TuneError(
+                "auto_maps derives the distribution axis; it cannot be "
+                "combined with an explicit space or dists"
+            )
+        # Lazy import: repro.analysis builds on repro.tune.model.
+        from repro.analysis import analyze
+
+        result = analyze(source, entry=entry)
+        if not result.candidates:
+            why = "; ".join(
+                d.message for d in result.report.by_code("LOC003")
+            ) or "no affine references found"
+            raise TuneError(f"auto_maps derived no candidate maps: {why}")
+        derived = [c.to_json() for c in result.candidates]
+        dists = result.dists
     if space is None:
-        space = default_space(proc_counts)
+        space = default_space(
+            proc_counts,
+            dists=tuple(dists) if dists else DEFAULT_DISTS,
+            strategies=(
+                tuple(strategies) if strategies else DEFAULT_STRATEGIES
+            ),
+            blksizes=tuple(blksizes) if blksizes else DEFAULT_BLKSIZES,
+        )
+    elif dists is not None or strategies is not None or blksizes is not None:
+        raise TuneError(
+            "pass either an explicit space or dists/strategies/blksizes, "
+            "not both"
+        )
     if not space:
         raise ValueError("empty search space")
 
@@ -389,4 +437,5 @@ def tune(
             simulations=simulations,
             space_size=len(space),
             machine=machine,
+            auto_maps=derived,
         )

@@ -48,7 +48,7 @@ def candidate_payload(cand) -> dict:
 
 def report_payload(report, **extra) -> dict:
     """A whole :class:`TuneReport` — ranked candidates, best, metadata."""
-    return {
+    payload = {
         **extra,
         "n": report.n,
         "space_size": report.space_size,
@@ -60,3 +60,6 @@ def report_payload(report, **extra) -> dict:
         ),
         "candidates": [candidate_payload(c) for c in report.candidates],
     }
+    if getattr(report, "auto_maps", None) is not None:
+        payload["auto_maps"] = report.auto_maps
+    return payload

@@ -71,14 +71,27 @@ class TestReport:
 
 class TestRegistry:
     def test_expected_passes_registered(self):
-        # Importing the driver registers the four tentpole passes in
-        # a deterministic order.
-        import repro.analysis.verify  # noqa: F401
+        # Importing the package registers the four safety passes in a
+        # deterministic order, plus the opt-in locality pass.
+        import repro.analysis  # noqa: F401
 
         assert list(PASSES) == [
             "channel-balance", "deadlock", "single-assignment",
-            "guard-coverage",
+            "guard-coverage", "locality",
         ]
+
+    def test_safety_passes_default_on_locality_opt_in(self):
+        import repro.analysis  # noqa: F401
+
+        enabled = {
+            name for name, fn in PASSES.items()
+            if getattr(fn, "default_enabled", True)
+        }
+        assert enabled == {
+            "channel-balance", "deadlock", "single-assignment",
+            "guard-coverage",
+        }
+        assert PASSES["locality"].default_enabled is False
 
     def test_duplicate_name_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -117,3 +130,30 @@ class TestRenderers:
         dl = next(d for d in parsed["diagnostics"] if d["code"] == "DL001")
         assert dl["severity"] == "error"
         assert dl["details"]["cycle"] == [0, 1]
+
+    def test_json_is_byte_stable_across_insertion_order(self):
+        """Two reports with the same diagnostics added in different
+        orders must serialize byte-identically: CI diffs ``--json``
+        dumps, so emission order (walk scheduling, pass order) must not
+        leak into the payload."""
+        entries = [
+            ("CB002", Severity.WARNING, "channel-balance", "b", 1, ("p",)),
+            ("CB001", Severity.ERROR, "channel-balance", "a", 2, ()),
+            ("CB001", Severity.ERROR, "channel-balance", "a", 0, ()),
+            ("DL001", Severity.ERROR, "deadlock", "c", None, ("q",)),
+            ("CB001", Severity.ERROR, "channel-balance", "z", 0, ("x",)),
+        ]
+        forward, backward = Report(), Report()
+        for code, sev, pname, msg, rank, path in entries:
+            forward.add(code, sev, pname, msg, rank=rank, path=path)
+        for code, sev, pname, msg, rank, path in reversed(entries):
+            backward.add(code, sev, pname, msg, rank=rank, path=path)
+        dump_a = json.dumps(render_json(forward), sort_keys=True)
+        dump_b = json.dumps(render_json(backward), sort_keys=True)
+        assert dump_a == dump_b
+        # Diagnostics come out keyed by (code, rank, path), not as added.
+        ordered = render_json(forward)["diagnostics"]
+        assert [d["code"] for d in ordered] == [
+            "CB001", "CB001", "CB001", "CB002", "DL001",
+        ]
+        assert [d["rank"] for d in ordered[:3]] == [0, 0, 2]

@@ -1,0 +1,254 @@
+"""Static locality analyzer: derived maps, diagnostics, opt-in pass.
+
+Expectations here are *structural* (which distributions rank where, and
+why) rather than exact-score pins: the nominal-cost weights may be
+retuned, but the orderings below are the analyzer's contract with the
+affine app suite — jacobi prefers block layouts, the Gauss-Seidel
+wavefront prefers cyclic ones, the triangular fill is communication-free
+but imbalanced, and matmul's replicated-operand nest leaves every layout
+equally bad.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    derive_maps,
+    locality_report,
+    verify_compiled,
+)
+from repro.core.compiler import (
+    OptLevel,
+    Strategy,
+    compile_program,
+)
+from repro.errors import CompileError
+
+
+class TestDerivedMaps:
+    def test_jacobi_prefers_block(self):
+        from repro.apps import jacobi
+
+        result = analyze(jacobi.SOURCE_WRAPPED, entry="jacobi_step")
+        assert result.array_rank == 2
+        assert result.dists == (
+            "block_cols", "block_rows",
+            "block_cyclic_cols(4)", "block_cyclic_rows(4)",
+        )
+        # Nearest-neighbour shifts: block layouts localize them, so the
+        # block candidates must strictly beat the cyclic ones.
+        assert result.candidates[0].score < result.candidates[2].score
+        assert [c.rank for c in result.candidates] == [1, 2, 3, 4]
+
+    def test_gauss_seidel_prefers_wrapped(self):
+        from repro.apps import gauss_seidel
+
+        result = analyze(gauss_seidel.SOURCE)
+        # The hand-written map must be in the derived set (rank 1: the
+        # wavefront flow dependence punishes block layouts).
+        assert result.candidates[0].dist == "wrapped_cols"
+        assert "wrapped_cols" in result.dists
+
+    def test_matmul_hand_map_derived(self):
+        from repro.apps import matmul
+
+        result = analyze(matmul.SOURCE)
+        assert "wrapped_cols" in result.dists
+        # Unaligned operand reads make every layout equally expensive;
+        # ties break in the deterministic DEFAULT_DISTS order.
+        scores = {c.score for c in result.candidates}
+        assert len(scores) == 1
+
+    def test_triangular_communication_free_but_imbalanced(self):
+        from repro.apps import triangular
+
+        result = analyze(triangular.SOURCE)
+        best = result.candidates[0]
+        assert best.score == 0.0
+        assert "communication-free" in best.rationale
+        assert result.report.by_code("LOC004")
+
+    def test_loc002_names_the_forcing_pair(self):
+        from repro.apps import jacobi
+
+        result = analyze(jacobi.SOURCE_WRAPPED, entry="jacobi_step")
+        residuals = result.report.by_code("LOC002")
+        assert residuals
+        msgs = " ".join(d.message for d in residuals)
+        assert "New[i, j]" in msgs
+        assert "Old[i - 1, j]" in msgs
+        assert "constant offset" in msgs
+
+    def test_helpers_agree_with_analyze(self):
+        from repro.apps import gauss_seidel
+
+        result = analyze(gauss_seidel.SOURCE)
+        assert [
+            c.dist for c in derive_maps(gauss_seidel.SOURCE)
+        ] == list(result.dists)
+        codes = {
+            d.code
+            for d in locality_report(gauss_seidel.SOURCE).diagnostics
+        }
+        assert "LOC001" in codes
+
+    def test_analysis_is_deterministic(self):
+        from repro.apps import jacobi
+
+        a = analyze(jacobi.SOURCE_WRAPPED, entry="jacobi_step")
+        b = analyze(jacobi.SOURCE_WRAPPED, entry="jacobi_step")
+        assert [c.to_json() for c in a.candidates] == [
+            c.to_json() for c in b.candidates
+        ]
+
+
+class TestAbstention:
+    def test_no_distributed_arrays(self):
+        source = """
+        param N;
+        procedure f() returns int {
+            return N;
+        }
+        """
+        result = analyze(source, entry="f")
+        assert result.candidates == []
+        assert result.array_rank is None
+        assert result.report.by_code("LOC003")
+
+    def test_mixed_rank_abstains(self):
+        source = """
+        param N;
+        map A by wrapped_cols;
+        map x by wrapped;
+        procedure f(A: matrix, x: vector) returns matrix {
+            let B = matrix(N, N);
+            for i = 1 to N {
+                for j = 1 to N {
+                    B[i, j] = A[i, j] + x[i];
+                }
+            }
+            return B;
+        }
+        """
+        result = analyze(source, entry="f")
+        assert result.candidates == []
+        (diag,) = result.report.by_code("LOC003")
+        assert "mixed rank" in diag.message
+
+    def test_vector_programs_get_vector_dists(self):
+        source = """
+        param N;
+        map x by wrapped;
+        map y by wrapped;
+        procedure f(x: vector) returns vector {
+            let y = vector(N);
+            for i = 2 to N {
+                y[i] = x[i - 1];
+            }
+            return y;
+        }
+        """
+        result = analyze(source, entry="f")
+        assert result.array_rank == 1
+        assert set(result.dists) <= {"wrapped", "block"}
+        assert result.candidates
+
+    def test_indirect_reference_reported_not_fatal(self):
+        source = """
+        param N;
+        map A by wrapped_cols;
+        map B by wrapped_cols;
+        map idx on all;
+        procedure f(A: matrix, idx: vector) returns matrix {
+            let B = matrix(N, N);
+            for i = 1 to N {
+                for j = 1 to N {
+                    B[i, j] = A[idx[i], j];
+                }
+            }
+            return B;
+        }
+        """
+        result = analyze(source, entry="f")
+        assert result.abstained >= 1
+        diags = result.report.by_code("LOC003")
+        assert any("indirect subscript" in d.message for d in diags)
+        # Abstention is per-reference: candidates still derive from the
+        # aligned B[i, j] write.
+        assert result.candidates
+
+
+class TestOptInPass:
+    def _compiled(self):
+        from repro.apps import gauss_seidel as gs
+
+        return compile_program(
+            gs.SOURCE,
+            strategy=Strategy.COMPILE_TIME,
+            opt_level=OptLevel.NONE,
+            entry_shapes={"Old": ("N", "N")},
+            assume_nprocs_min=2,
+        )
+
+    def test_default_verify_stays_silent(self):
+        report = verify_compiled(self._compiled(), 4, params={"N": 12})
+        assert not any(
+            d.code.startswith("LOC") for d in report.diagnostics
+        )
+
+    def test_extra_passes_opts_in(self):
+        report = verify_compiled(
+            self._compiled(), 4, params={"N": 12},
+            extra_passes=("locality",),
+        )
+        codes = {d.code for d in report.diagnostics}
+        assert "LOC001" in codes
+        assert not report.has_errors
+
+    def test_unknown_extra_pass_rejected(self):
+        with pytest.raises(CompileError, match="unknown analysis pass"):
+            verify_compiled(
+                self._compiled(), 4, params={"N": 12},
+                extra_passes=("no-such-pass",),
+            )
+
+
+class TestCellLimitEnv:
+    """Satellite: the footprint cell-set threshold honours
+    REPRO_ANALYSIS_CELLSET_MAX per Tracker, without module reloads."""
+
+    def test_default(self, monkeypatch):
+        from repro.analysis.footprint import CELL_LIMIT, Tracker, cell_limit
+
+        monkeypatch.delenv("REPRO_ANALYSIS_CELLSET_MAX", raising=False)
+        assert cell_limit() == CELL_LIMIT
+        tracker = Tracker("A", (8, 8), rank=0)
+        assert tracker._written is not None  # materialized fast path
+
+    def test_env_override_forces_symbolic_path(self, monkeypatch):
+        from repro.analysis.footprint import Tracker, cell_limit
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CELLSET_MAX", "16")
+        assert cell_limit() == 16
+        small = Tracker("A", (4, 4), rank=0)
+        large = Tracker("B", (5, 5), rank=0)
+        assert small._written is not None
+        assert large._written is None  # symbolic progression algebra
+
+    def test_junk_value_falls_back(self, monkeypatch):
+        from repro.analysis.footprint import CELL_LIMIT, cell_limit
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CELLSET_MAX", "not-a-number")
+        assert cell_limit() == CELL_LIMIT
+
+    def test_isolated_per_tracker(self, monkeypatch):
+        """Flipping the env between constructions changes behaviour —
+        proof the limit is read per Tracker, not captured at import."""
+        from repro.analysis.footprint import Tracker
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CELLSET_MAX", "0")
+        symbolic = Tracker("A", (4, 4), rank=0)
+        monkeypatch.delenv("REPRO_ANALYSIS_CELLSET_MAX")
+        materialized = Tracker("A", (4, 4), rank=0)
+        assert symbolic._written is None
+        assert materialized._written is not None

@@ -293,3 +293,58 @@ class TestArgValidation:
         # All compilation happened in workers; the parent only sees it
         # through merged snapshots.
         assert "cache simplify" in out
+
+
+class TestMapsCommand:
+    @pytest.mark.parametrize(
+        "app", ["gauss_seidel", "jacobi", "matmul", "triangular"]
+    )
+    def test_gate_holds_on_affine_suite(self, capsys, app):
+        out = run_cli(capsys, "maps", "--app", app, "--n", "12")
+        assert "-> ok" in out
+        assert "derived" in out
+
+    def test_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "maps.json"
+        run_cli(capsys, "maps", "--app", "gauss_seidel", "--n", "12",
+                "--json", str(path))
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "maps"
+        assert payload["gate"]["ok"] is True
+        assert payload["gate"]["hand_in_derived"] is True
+        dists = [c["dist"] for c in payload["candidates"]]
+        assert dists[0] == "wrapped_cols"
+        for cand in payload["candidates"]:
+            assert cand["predicted_us"] is None or cand["predicted_us"] > 0
+            assert cand["rationale"]
+        assert {d["code"] for d in payload["diagnostics"]} >= {"LOC001"}
+
+    def test_derived_beats_unlisted_hand_map(self, capsys):
+        """jacobi's hand map is wrapped but the analyzer prefers block;
+        the gate then holds on predicted makespan, not membership."""
+        out = run_cli(capsys, "maps", "--app", "jacobi", "--n", "12")
+        assert "block_cols" in out
+        assert "derived best" in out
+
+    def test_bad_app_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["maps", "--app", "nonsense"])
+        assert exc.value.code == 2
+
+
+class TestTuneAutoMapsFlag:
+    def test_auto_maps_search_and_provenance(self, tmp_path, capsys):
+        path = tmp_path / "tune.json"
+        out = run_cli(
+            capsys, "tune", "--app", "jacobi", "--n", "8",
+            "--auto-maps", "--top-k", "1",
+            "--strategies", "compile", "--blksizes", "8",
+            "--json", str(path),
+        )
+        assert "auto-derived maps:" in out
+        payload = json.loads(path.read_text())
+        derived = [m["dist"] for m in payload["auto_maps"]]
+        assert derived
+        assert all(
+            c["dist"] in derived for c in payload["candidates"]
+        )

@@ -364,3 +364,19 @@ def test_artifact_record_pickled_in_store_is_json_safe(app):
     found, record = store.get_store().fetch(ARTIFACT_CACHE, artifact_id)
     assert found
     json.dumps(record)  # no Python-only types leaked into the record
+
+
+def test_auto_maps_ranking_attached(app):
+    """tune.auto_maps derives the distribution axis server-side; the
+    artifact's ranking carries the provenance."""
+    resp = submit(
+        app,
+        tune={"auto_maps": True, "top_k": 0, "strategies": ["compile"]},
+    )
+    assert resp.status == 200
+    record = app.handle("GET", f"/v1/artifacts/{resp.body['id']}").body
+    ranking = record["tune"]
+    assert "error" not in ranking
+    derived = [m["dist"] for m in ranking["auto_maps"]]
+    assert derived
+    assert {c["dist"] for c in ranking["candidates"]} <= set(derived)

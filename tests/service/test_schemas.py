@@ -106,3 +106,19 @@ def test_describe_is_json_safe_echo():
     assert echo["tune"]["top_k"] == 2
     assert "source" not in echo  # the id commits to it; no need to echo it
     assert echo["source_bytes"] > 0
+
+
+def test_tune_auto_maps_accepted_and_keyed():
+    req = validate(tune={"auto_maps": True})
+    assert req.tune.auto_maps is True
+    assert ";am=1" in req.tune.canonical()
+    assert req.describe()["tune"]["auto_maps"] is True
+    # auto_maps is part of the artifact identity.
+    assert req.artifact_id() != validate().artifact_id()
+
+
+def test_tune_auto_maps_validation():
+    with pytest.raises(SchemaError, match="auto_maps"):
+        validate(tune={"auto_maps": True, "dists": ["wrapped_cols"]})
+    with pytest.raises(SchemaError, match="auto_maps"):
+        validate(tune={"auto_maps": 1})
